@@ -1,0 +1,33 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one paper table/figure.  The experiments run on
+a virtual-time simulator, so pytest-benchmark's measured wall-clock time is
+the cost of running the simulation, while the *reproduced* quantities
+(latencies, throughputs) come from the returned ExperimentResult and are
+printed for inspection / recorded in EXPERIMENTS.md.
+"""
+
+import sys
+from pathlib import Path
+
+# Allow running the benchmarks without installing the package.
+SRC = Path(__file__).resolve().parents[1] / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+import pytest
+
+
+@pytest.fixture()
+def run_experiment(benchmark):
+    """Run an experiment module once under pytest-benchmark and print it."""
+
+    def runner(module, **kwargs):
+        result = benchmark.pedantic(
+            lambda: module.run(quick=True, **kwargs), iterations=1, rounds=1
+        )
+        print()
+        print(result.format_table())
+        return result
+
+    return runner

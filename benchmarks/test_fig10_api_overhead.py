@@ -1,0 +1,18 @@
+"""Benchmark regenerating Figure 10: per-API-call overhead by layer."""
+
+from repro.bench.experiments import fig10_api_overhead
+
+
+def test_fig10_api_overhead(run_experiment):
+    result = run_experiment(fig10_api_overhead)
+    for row in result.rows:
+        # Control-layer calls stay cheap (paper: < 30 us even at 896 inferlets).
+        assert row["control_layer_us"] < 60.0
+        # Inference-layer calls stay within the paper's 10-300 us band.
+        assert 1.0 <= row["inference_layer_us"] <= 400.0
+    control = result.column("control_layer_us")
+    inference = result.column("inference_layer_us")
+    # Both overheads grow with concurrency, and the inference layer grows much
+    # faster (single-threaded deserialisation), dominating at high concurrency.
+    assert inference[-1] > inference[0]
+    assert inference[-1] > control[-1]

@@ -1,0 +1,16 @@
+"""Benchmark regenerating Figure 11: API calls per output token."""
+
+from repro.bench.experiments import fig11_api_calls
+
+
+def test_fig11_api_calls(run_experiment):
+    result = run_experiment(fig11_api_calls)
+    rows = {r["task"]: r for r in result.rows}
+    # Beam search issues far more API calls per *output* token than text
+    # completion because only the winning beam's tokens count.
+    assert (
+        rows["beam"]["inference_calls_per_token"]
+        > 2 * rows["text_completion"]["inference_calls_per_token"]
+    )
+    for row in result.rows:
+        assert row["output_tokens"] > 0

@@ -1,0 +1,15 @@
+"""Benchmark regenerating Figure 7: stacked application-specific optimizations."""
+
+from repro.bench.experiments import fig7_optimizations
+
+
+def test_fig7_optimizations(run_experiment):
+    result = run_experiment(fig7_optimizations)
+    largest = max(result.column("agents"))
+    rows = {r["variant"]: r for r in result.rows if r["agents"] == largest}
+    fully_optimized = rows["+ mask (#3)"]["throughput_agents_per_s"]
+    vllm = rows["vllm (baseline)"]["throughput_agents_per_s"]
+    pie_base = rows["pie (baseline)"]["throughput_agents_per_s"]
+    # The stacked optimizations must beat both baselines at the largest scale.
+    assert fully_optimized > vllm
+    assert fully_optimized > pie_base

@@ -1,0 +1,15 @@
+"""Benchmark regenerating Figure 9: inferlet launch latency."""
+
+from repro.bench.experiments import fig9_launch
+
+
+def test_fig9_launch(run_experiment):
+    result = run_experiment(fig9_launch)
+    for row in result.rows:
+        # Cold start is strictly more expensive than warm start.
+        assert row["cold_ms"] > row["warm_ms"]
+        # Launching stays cheap relative to per-token generation (paper: 10-81 ms).
+        assert row["warm_ms"] < 100.0
+        assert row["cold_ms"] < 150.0
+    warm = result.column("warm_ms")
+    assert warm[-1] >= warm[0]  # latency grows with the burst size

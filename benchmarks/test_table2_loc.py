@@ -1,0 +1,10 @@
+"""Benchmark regenerating Table 2: the inferlet inventory."""
+
+from repro.bench.experiments import table2_loc
+
+
+def test_table2_loc(run_experiment):
+    result = run_experiment(table2_loc)
+    assert len(result.rows) == 19
+    for row in result.rows:
+        assert row["repro_loc"] > 0

@@ -1,0 +1,14 @@
+"""Benchmark regenerating Table 3: opportunity cost of the programming model."""
+
+from repro.bench.experiments import table3_opportunity
+
+
+def test_table3_opportunity(run_experiment):
+    result = run_experiment(table3_opportunity)
+    vllm = result.row_for("component", "Text completion TPOT (vLLM-like)")["latency_ms"]
+    pie = result.row_for("component", "Text completion TPOT (Pie)")["latency_ms"]
+    overhead = pie - vllm
+    # Pie is slower, but the overhead stays small relative to the 8B TPOT
+    # (paper: +1.53 ms on 64.06 ms).
+    assert overhead > 0
+    assert overhead < 0.10 * vllm

@@ -1,0 +1,12 @@
+"""Benchmark regenerating Table 4: TPOT overhead vs model size."""
+
+from repro.bench.experiments import table4_model_size
+
+
+def test_table4_model_size(run_experiment):
+    result = run_experiment(table4_model_size)
+    by_size = {r["model_size"]: r for r in result.rows}
+    # The relative overhead shrinks as the model grows (amortisation).
+    assert by_size["8B"]["overhead_pct"] < by_size["3B"]["overhead_pct"] < by_size["1B"]["overhead_pct"]
+    for row in result.rows:
+        assert row["pie_ms"] > row["vllm_ms"]

@@ -1,0 +1,13 @@
+"""Benchmark regenerating Table 5: batching strategy throughput."""
+
+from repro.bench.experiments import table5_batching
+
+
+def test_table5_batching(run_experiment):
+    result = run_experiment(table5_batching)
+    by_policy = {r["policy"]: r["requests_per_s"] for r in result.rows}
+    # Paper ordering: adaptive > t_only > k_only >> eager.
+    assert by_policy["adaptive"] > by_policy["t_only"]
+    assert by_policy["t_only"] > by_policy["k_only"]
+    assert by_policy["k_only"] > by_policy["eager"]
+    assert by_policy["adaptive"] > 5 * by_policy["eager"]

@@ -1,0 +1,41 @@
+"""Quickstart: serve a text-completion inferlet on Pie.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro.core import InferletProgram, PieClient, PieServer
+from repro.sim import Simulator
+from repro.support import Context, SamplingParams
+
+
+def main() -> None:
+    # Everything runs on a deterministic virtual-time simulator.
+    sim = Simulator(seed=0)
+    server = PieServer(sim, models=["llama-sim-1b"])
+
+    # An inferlet is just an async function taking the Pie API (ctx).
+    async def completion(ctx):
+        context = Context(ctx, sampling=SamplingParams())  # greedy
+        await context.fill("Hello, programmable serving! ")
+        text = await context.generate_until(max_tokens=24)
+        ctx.send(text)
+        context.free()
+        return text
+
+    server.register_program(InferletProgram(name="quickstart", main=completion))
+
+    # A remote client on a simulated campus network launches it.
+    client = PieClient(sim, server, rtt_ms=25.0)
+    result = sim.run_until_complete(client.launch_and_wait("quickstart"))
+
+    print(f"status        : {result.status}")
+    print(f"generated text: {result.result!r}")
+    print(f"end-to-end    : {result.latency * 1e3:.1f} ms (virtual time)")
+    print(f"launch        : {result.launch_latency * 1e3:.1f} ms")
+    metrics = server.metrics.get(result.instance_id)
+    print(f"api calls     : {metrics.control_layer_calls} control / "
+          f"{metrics.inference_layer_calls} inference")
+
+
+if __name__ == "__main__":
+    main()

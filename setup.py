@@ -1,0 +1,11 @@
+"""Setuptools entry point.
+
+The pyproject.toml carries all metadata; this file exists so that the
+package can be installed editable (``pip install -e .``) on environments
+whose setuptools lacks the integrated ``bdist_wheel`` command (no ``wheel``
+package available offline).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,20 @@
+"""repro — a reproduction of *Pie: A Programmable Serving System for
+Emerging LLM Applications* (SOSP 2025).
+
+The package is organised as:
+
+* ``repro.sim``        — deterministic discrete-event simulation kernel.
+* ``repro.gpu``        — simulated GPU device, paged KV memory, kernel cost model.
+* ``repro.model``      — toy transformer substrate (real numpy math).
+* ``repro.grammar``    — constrained-decoding grammars (JSON machine, EBNF).
+* ``repro.core``       — the Pie system itself (the paper's contribution).
+* ``repro.support``    — the inferlet support library (Context, sampling, fork/join).
+* ``repro.inferlets``  — the Table-2 inferlet programs.
+* ``repro.baselines``  — monolithic serving baselines (vLLM-, SGLang-, StreamingLLM-like).
+* ``repro.workloads``  — workload and trace generators.
+* ``repro.bench``      — experiment harness for every paper table and figure.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,44 @@
+"""Baseline (monolithic) LLM serving systems.
+
+These reproduce the architecture Pie is compared against: a fixed
+prefill-decode loop with continuous batching, system-wide KV-cache policies
+and a client that must orchestrate any external interaction through full
+network round trips.
+
+* :class:`MonolithicEngine` — the shared continuous-batching engine.
+* :class:`VllmLikeServer` — engine + hash-based automatic prefix caching +
+  optional n-gram (prompt-lookup) speculative decoding + beam search.
+* :class:`SglangLikeServer` — engine + radix-tree prefix reuse (RadixAttention).
+* :class:`StreamingLlmServer` — the specialised attention-sink baseline.
+* :class:`LmqlLikeServer` — constrained generation driven step-by-step from
+  outside the engine (LMQL-style), paying per-step orchestration overhead.
+* :class:`BaselineClient` — a remote client speaking to any of the above
+  over a simulated campus network.
+
+All baselines run on the same simulated GPU substrate and the same toy
+transformer as Pie, so comparisons isolate the serving architecture.
+"""
+
+from repro.baselines.request import GenerationRequest, RequestOutput, SamplingConfig
+from repro.baselines.block_manager import BlockManager
+from repro.baselines.radix_tree import RadixTree
+from repro.baselines.engine import MonolithicEngine
+from repro.baselines.vllm_like import VllmLikeServer
+from repro.baselines.sglang_like import SglangLikeServer
+from repro.baselines.streamingllm_like import StreamingLlmServer
+from repro.baselines.lmql_like import LmqlLikeServer
+from repro.baselines.client import BaselineClient
+
+__all__ = [
+    "GenerationRequest",
+    "RequestOutput",
+    "SamplingConfig",
+    "BlockManager",
+    "RadixTree",
+    "MonolithicEngine",
+    "VllmLikeServer",
+    "SglangLikeServer",
+    "StreamingLlmServer",
+    "LmqlLikeServer",
+    "BaselineClient",
+]

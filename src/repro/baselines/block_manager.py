@@ -1,0 +1,143 @@
+"""Block manager with hash-based automatic prefix caching (vLLM-style).
+
+The monolithic engines allocate KV pages per sequence through this manager.
+With prefix caching enabled, full pages whose content is determined by a
+prompt prefix are registered under a chained hash; later requests with the
+same prefix reuse those pages instead of recomputing them — the system-wide,
+implicit policy the paper contrasts with Pie's explicit per-application
+control.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import BaselineError, OutOfResourcesError
+from repro.gpu.memory import KvPageStore
+
+
+@dataclass
+class _CachedBlock:
+    page_id: int
+    refcount: int
+    last_used: float
+
+
+class BlockManager:
+    """Per-sequence page allocation + optional prefix cache."""
+
+    def __init__(self, store: KvPageStore, enable_prefix_caching: bool = False) -> None:
+        self.store = store
+        self.page_size = store.page_size
+        self.enable_prefix_caching = enable_prefix_caching
+        self._cache: Dict[int, _CachedBlock] = {}
+        self._clock = 0.0
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # -- hashing ---------------------------------------------------------------
+
+    @staticmethod
+    def chain_hash(prev_hash: int, block_tokens: Sequence[int]) -> int:
+        return hash((prev_hash, tuple(block_tokens)))
+
+    def prefix_hashes(self, tokens: Sequence[int]) -> List[int]:
+        """Chained hashes of each *full* page of the token sequence."""
+        hashes: List[int] = []
+        prev = 0
+        for start in range(0, len(tokens) - len(tokens) % self.page_size, self.page_size):
+            prev = self.chain_hash(prev, tokens[start : start + self.page_size])
+            hashes.append(prev)
+        return hashes
+
+    # -- lookup / allocation ------------------------------------------------------
+
+    def match_prefix(self, tokens: Sequence[int]) -> Tuple[List[int], int]:
+        """Return (cached page ids, number of cached tokens) for a prompt."""
+        if not self.enable_prefix_caching:
+            return [], 0
+        pages: List[int] = []
+        for block_hash in self.prefix_hashes(tokens):
+            block = self._cache.get(block_hash)
+            if block is None:
+                break
+            pages.append(block.page_id)
+            block.refcount += 1
+            block.last_used = self._tick()
+            self.cache_hits += 1
+        return pages, len(pages) * self.page_size
+
+    def allocate_pages(self, count: int) -> List[int]:
+        """Allocate fresh pages, evicting unreferenced cached pages if needed."""
+        if count == 0:
+            return []
+        while self.store.num_free < count and self._evict_one():
+            pass
+        if self.store.num_free < count:
+            raise OutOfResourcesError(
+                f"block manager cannot allocate {count} pages ({self.store.num_free} free)"
+            )
+        self.cache_misses += count
+        return self.store.allocate(count)
+
+    def register_prefix(self, tokens: Sequence[int], page_ids: Sequence[int]) -> None:
+        """Insert a sequence's full pages into the prefix cache."""
+        if not self.enable_prefix_caching:
+            return
+        hashes = self.prefix_hashes(tokens)
+        for block_hash, page_id in zip(hashes, page_ids):
+            if block_hash not in self._cache:
+                self._cache[block_hash] = _CachedBlock(
+                    page_id=page_id, refcount=0, last_used=self._tick()
+                )
+
+    def release_pages(self, page_ids: Sequence[int], cached_page_ids: Sequence[int]) -> None:
+        """Release a finished sequence's pages.
+
+        Pages present in the prefix cache are kept resident (refcount
+        decremented); everything else is freed immediately.
+        """
+        cached_set = set(cached_page_ids)
+        cached_by_page = {block.page_id: block for block in self._cache.values()}
+        to_free: List[int] = []
+        for page_id in page_ids:
+            block = cached_by_page.get(page_id)
+            if block is not None:
+                if page_id in cached_set and block.refcount > 0:
+                    block.refcount -= 1
+                continue
+            to_free.append(page_id)
+        if to_free:
+            self.store.free(to_free)
+
+    # -- eviction --------------------------------------------------------------------
+
+    def _evict_one(self) -> bool:
+        """Evict the least-recently-used unreferenced cached page."""
+        candidates = [
+            (block.last_used, block_hash)
+            for block_hash, block in self._cache.items()
+            if block.refcount == 0
+        ]
+        if not candidates:
+            return False
+        _, victim_hash = min(candidates)
+        victim = self._cache.pop(victim_hash)
+        self.store.free([victim.page_id])
+        return True
+
+    def _tick(self) -> float:
+        self._clock += 1.0
+        return self._clock
+
+    # -- stats ------------------------------------------------------------------------
+
+    @property
+    def cached_pages(self) -> int:
+        return len(self._cache)
+
+    def pages_needed_for(self, n_tokens: int) -> int:
+        if n_tokens <= 0:
+            return 0
+        return (n_tokens + self.page_size - 1) // self.page_size

@@ -1,0 +1,136 @@
+"""Radix (prefix) tree over token sequences — the SGLang RadixAttention cache.
+
+Nodes store page-aligned KV segments keyed by their token content, so
+requests sharing a prefix reuse the cached pages and branching generations
+(fork) naturally share the common ancestor path.  Functionally this is a
+tree-shaped variant of the hash-chain prefix cache; the tree structure is
+what lets SGLang reuse partial paths across branches of the same program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass
+class RadixNode:
+    """One edge worth of tokens plus the KV pages covering them."""
+
+    tokens: Tuple[int, ...] = ()
+    page_ids: List[int] = field(default_factory=list)
+    children: Dict[int, "RadixNode"] = field(default_factory=dict)
+    refcount: int = 0
+    last_used: float = 0.0
+
+    def child_for(self, token: int) -> Optional["RadixNode"]:
+        return self.children.get(token)
+
+
+class RadixTree:
+    """Token-sequence trie with page-aligned nodes."""
+
+    def __init__(self, page_size: int) -> None:
+        self.page_size = page_size
+        self.root = RadixNode()
+        self._clock = 0.0
+        self.hits = 0
+        self.insertions = 0
+
+    # -- lookup -------------------------------------------------------------------
+
+    def match_prefix(self, tokens: Sequence[int]) -> Tuple[List[int], int]:
+        """Longest page-aligned cached prefix: (page ids, matched token count)."""
+        node = self.root
+        matched_pages: List[int] = []
+        matched_tokens = 0
+        position = 0
+        while position + self.page_size <= len(tokens):
+            chunk = tuple(tokens[position : position + self.page_size])
+            child = node.child_for(chunk[0])
+            if child is None or child.tokens != chunk:
+                break
+            matched_pages.extend(child.page_ids)
+            matched_tokens += self.page_size
+            position += self.page_size
+            child.last_used = self._tick()
+            child.refcount += 1
+            node = child
+            self.hits += 1
+        return matched_pages, matched_tokens
+
+    def release_path(self, tokens: Sequence[int], matched_tokens: int) -> None:
+        """Drop the refcounts taken by a prior ``match_prefix``."""
+        node = self.root
+        position = 0
+        while position + self.page_size <= matched_tokens:
+            chunk = tuple(tokens[position : position + self.page_size])
+            child = node.child_for(chunk[0])
+            if child is None or child.tokens != chunk:
+                return
+            if child.refcount > 0:
+                child.refcount -= 1
+            node = child
+            position += self.page_size
+
+    # -- insertion -------------------------------------------------------------------
+
+    def insert(self, tokens: Sequence[int], page_ids: Sequence[int]) -> int:
+        """Insert page-aligned segments of a sequence; returns pages adopted.
+
+        ``page_ids[i]`` must cover tokens ``[i*page_size, (i+1)*page_size)``.
+        Pages already present are ignored (the caller keeps ownership of
+        those and may free them).
+        """
+        node = self.root
+        adopted = 0
+        full_pages = len(tokens) // self.page_size
+        for index in range(full_pages):
+            chunk = tuple(tokens[index * self.page_size : (index + 1) * self.page_size])
+            child = node.child_for(chunk[0])
+            if child is not None and child.tokens == chunk:
+                node = child
+                continue
+            child = RadixNode(tokens=chunk, page_ids=[page_ids[index]], last_used=self._tick())
+            node.children[chunk[0]] = child
+            node = child
+            adopted += 1
+            self.insertions += 1
+        return adopted
+
+    # -- eviction ---------------------------------------------------------------------
+
+    def evict_lru_leaf(self) -> Optional[List[int]]:
+        """Remove the least-recently-used unreferenced leaf; return its pages."""
+        best: Optional[Tuple[float, RadixNode, RadixNode, int]] = None
+
+        def visit(parent: RadixNode) -> None:
+            nonlocal best
+            for token, child in parent.children.items():
+                if not child.children and child.refcount == 0:
+                    if best is None or child.last_used < best[0]:
+                        best = (child.last_used, parent, child, token)
+                visit(child)
+
+        visit(self.root)
+        if best is None:
+            return None
+        _, parent, child, token = best
+        del parent.children[token]
+        return list(child.page_ids)
+
+    def cached_pages(self) -> int:
+        count = 0
+
+        def visit(node: RadixNode) -> None:
+            nonlocal count
+            for child in node.children.values():
+                count += len(child.page_ids)
+                visit(child)
+
+        visit(self.root)
+        return count
+
+    def _tick(self) -> float:
+        self._clock += 1.0
+        return self._clock

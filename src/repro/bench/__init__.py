@@ -1,0 +1,12 @@
+"""Experiment harness: one module per paper table/figure.
+
+Every experiment module exposes ``run(quick=True) -> ExperimentResult``.
+``quick`` mode shrinks concurrency and token counts so the full suite runs
+in minutes inside pytest-benchmark; ``quick=False`` uses sizes closer to the
+paper's setup.  Results carry printable rows plus the headline comparisons
+the EXPERIMENTS.md document records.
+"""
+
+from repro.bench.reporting import ExperimentResult
+
+__all__ = ["ExperimentResult"]

@@ -1,0 +1,13 @@
+"""One experiment module per paper table/figure.
+
+* ``fig6_agents``          — agentic workflows: latency & throughput.
+* ``fig7_optimizations``   — stacked application-specific optimizations.
+* ``fig8_techniques``      — inference techniques across serving systems.
+* ``fig9_launch``          — inferlet launch latency (cold vs warm).
+* ``fig10_api_overhead``   — per-call overhead by handling layer.
+* ``fig11_api_calls``      — API calls per output token per task.
+* ``table2_loc``           — inferlet inventory and lines of code.
+* ``table3_opportunity``   — opportunity cost of the programming model.
+* ``table4_model_size``    — TPOT overhead vs model size.
+* ``table5_batching``      — batching strategy throughput.
+"""

@@ -1,0 +1,101 @@
+"""Table 3: opportunity cost of the programming model.
+
+Measures time-per-output-token for text completion on the 8B model under
+vLLM (fused monolithic step) and Pie (de-fused handlers), and attributes the
+difference to the components the paper lists: un-pipelined sampling and
+input embedding, batch scheduling, distribution return, boundary crossings
+and Wasm processing.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import SamplingConfig, VllmLikeServer
+from repro.bench.reporting import ExperimentResult
+from repro.bench.runners import make_pie_setup, run_concurrent_coros, run_pie_concurrent
+from repro.inferlets import make_text_completion
+from repro.model import get_model_config
+from repro.sim import Simulator
+from repro.workloads import PromptGenerator
+
+MODEL = "llama-sim-8b"
+MAX_TOKENS = 8
+
+
+def _vllm_tpot(n_concurrent: int) -> float:
+    sim = Simulator(seed=31)
+    server = VllmLikeServer(sim, model_name=MODEL)
+    prompts = PromptGenerator(seed=31).batch(n_concurrent, 24)
+    coros = [server.generate(p, SamplingConfig(max_tokens=MAX_TOKENS)) for p in prompts]
+    outputs, _ = run_concurrent_coros(sim, coros)
+    per_request = [o.latency / MAX_TOKENS for o in outputs]
+    return sum(per_request) / len(per_request)
+
+
+def _pie_tpot(n_concurrent: int) -> float:
+    _, server = make_pie_setup(models=(MODEL,), seed=31, with_tools=False)
+    prompts = PromptGenerator(seed=31).batch(n_concurrent, 24)
+    programs = [
+        make_text_completion(p, MAX_TOKENS, name=f"t3_{i}") for i, p in enumerate(prompts)
+    ]
+    results, _ = run_pie_concurrent(server, programs)
+    per_request = [r.latency / MAX_TOKENS for r in results]
+    return sum(per_request) / len(per_request)
+
+
+def run(quick: bool = True) -> ExperimentResult:
+    n_concurrent = 4 if quick else 32
+    result = ExperimentResult(
+        name="Table 3",
+        description="Opportunity cost of Pie's programming model (8B model, text completion)",
+    )
+    vllm_ms = _vllm_tpot(1) * 1e3
+    pie_ms = _pie_tpot(1) * 1e3
+    vllm_concurrent_ms = _vllm_tpot(n_concurrent) * 1e3
+    pie_concurrent_ms = _pie_tpot(n_concurrent) * 1e3
+    cost = get_model_config(MODEL).cost
+    _, server = make_pie_setup(models=(MODEL,), seed=0, with_tools=False)
+    control = server.config.control
+    wasm = server.config.wasm
+
+    result.add_row(component="Text completion TPOT (vLLM-like)", latency_ms=vllm_ms)
+    result.add_row(
+        component="Lack of pipelined sampling on GPU",
+        latency_ms=cost.sample_ms_per_call + cost.sample_ms_per_row,
+    )
+    result.add_row(
+        component="Lack of pipelined input embedding on GPU",
+        latency_ms=cost.embed_ms_per_call + cost.embed_ms_per_token,
+    )
+    result.add_row(
+        component="Overhead of control layer batch scheduling",
+        latency_ms=control.batch_scheduling_overhead_ms,
+    )
+    result.add_row(component="Overhead of returning output distribution", latency_ms=cost.dist_return_ms)
+    result.add_row(
+        component="Boundary crossing (control-inference layer)", latency_ms=control.ipc_crossing_ms
+    )
+    result.add_row(
+        component="Boundary crossing (application-control layer)",
+        latency_ms=control.app_control_crossing_ms,
+    )
+    result.add_row(component="Wasm processing overhead", latency_ms=wasm.per_call_wasm_overhead_ms)
+    result.add_row(component="Text completion TPOT (Pie)", latency_ms=pie_ms)
+    result.add_row(component="Measured overhead (Pie - vLLM-like)", latency_ms=pie_ms - vllm_ms)
+    result.add_row(
+        component=f"TPOT at {n_concurrent} concurrent requests (vLLM-like)",
+        latency_ms=vllm_concurrent_ms,
+    )
+    result.add_row(
+        component=f"TPOT at {n_concurrent} concurrent inferlets (Pie)",
+        latency_ms=pie_concurrent_ms,
+    )
+    result.add_note(
+        "Paper: vLLM 64.06 ms vs Pie 65.59 ms; the dominant component is the un-pipelined "
+        "sampling step (+1.32 ms); everything else is tens of microseconds or less."
+    )
+    result.add_note(
+        "Under concurrency Pie's gap widens in this reproduction because independently "
+        "progressing inferlets can fall out of phase and split forward batches; the paper's "
+        "32-inferlet measurement does not show this (see EXPERIMENTS.md)."
+    )
+    return result

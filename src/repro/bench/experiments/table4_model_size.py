@@ -1,0 +1,50 @@
+"""Table 4: generation time per output token (TPOT) vs model size."""
+
+from __future__ import annotations
+
+from repro.baselines import SamplingConfig, VllmLikeServer
+from repro.bench.reporting import ExperimentResult
+from repro.bench.runners import make_pie_setup, run_pie_single
+from repro.inferlets import make_text_completion
+from repro.sim import Simulator
+
+MODELS = ("llama-sim-8b", "llama-sim-3b", "llama-sim-1b")
+SIZE_LABELS = {"llama-sim-8b": "8B", "llama-sim-3b": "3B", "llama-sim-1b": "1B"}
+MAX_TOKENS = 8
+PROMPT = "The quick brown fox"
+
+
+def _vllm_tpot(model: str) -> float:
+    sim = Simulator(seed=41)
+    server = VllmLikeServer(sim, model_name=model)
+    output = sim.run_until_complete(server.generate(PROMPT, SamplingConfig(max_tokens=MAX_TOKENS)))
+    return output.latency / MAX_TOKENS * 1e3
+
+
+def _pie_tpot(model: str) -> float:
+    _, server = make_pie_setup(models=(model,), seed=41, with_tools=False)
+    result = run_pie_single(server, make_text_completion(PROMPT, MAX_TOKENS))
+    return result.latency / MAX_TOKENS * 1e3
+
+
+def run(quick: bool = True) -> ExperimentResult:
+    result = ExperimentResult(
+        name="Table 4",
+        description="TPOT (ms) for text completion by model size: vLLM-like vs Pie",
+    )
+    for model in MODELS:
+        vllm_ms = _vllm_tpot(model)
+        pie_ms = _pie_tpot(model)
+        overhead = pie_ms - vllm_ms
+        result.add_row(
+            model_size=SIZE_LABELS[model],
+            vllm_ms=vllm_ms,
+            pie_ms=pie_ms,
+            overhead_ms=overhead,
+            overhead_pct=100.0 * overhead / vllm_ms,
+        )
+    result.add_note(
+        "Paper: 64.06 vs 65.59 ms (8B, 2.39%), 30.30 vs 32.01 ms (3B, 5.64%), "
+        "16.83 vs 18.75 ms (1B, 11.41%) — the relative overhead shrinks as model size grows."
+    )
+    return result

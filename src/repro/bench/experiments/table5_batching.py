@@ -1,0 +1,50 @@
+"""Table 5: throughput across batch-scheduling strategies.
+
+A saturated scheduler (many concurrent text-completion inferlets) is run
+under the four policies: no batching (eager), fixed-size batching (K-only),
+timeout batching (T-only), and the adaptive work-conserving policy.
+"""
+
+from __future__ import annotations
+
+from repro.bench.reporting import ExperimentResult
+from repro.bench.runners import make_pie_setup, run_pie_concurrent, throughput
+from repro.core.config import PieConfig, SchedulerConfig
+from repro.inferlets import make_text_completion
+from repro.workloads import PromptGenerator
+
+POLICIES = ("eager", "k_only", "t_only", "adaptive")
+
+
+def _run_policy(policy: str, n_inferlets: int, max_tokens: int) -> float:
+    scheduler = SchedulerConfig(
+        policy=policy,
+        k_threshold=max(4, n_inferlets // 2),
+        t_timeout_ms=5.0,
+    )
+    config = PieConfig(scheduler=scheduler)
+    _, server = make_pie_setup(config=config, seed=51, with_tools=False)
+    prompts = PromptGenerator(seed=51).batch(n_inferlets, 16)
+    programs = [
+        make_text_completion(prompt, max_tokens, name=f"t5_{policy}_{index}")
+        for index, prompt in enumerate(prompts)
+    ]
+    _, elapsed = run_pie_concurrent(server, programs)
+    return throughput(n_inferlets, elapsed)
+
+
+def run(quick: bool = True) -> ExperimentResult:
+    n_inferlets = 16 if quick else 128
+    max_tokens = 6 if quick else 16
+    result = ExperimentResult(
+        name="Table 5",
+        description="Requests/s under the four batch-scheduling strategies (saturated scheduler)",
+    )
+    for policy in POLICIES:
+        result.add_row(policy=policy, requests_per_s=_run_policy(policy, n_inferlets, max_tokens))
+    result.add_note(
+        "Paper: Eager 5.61, K-only 30.09, T-only 78.11, Adaptive 84.85 requests/s with 128 "
+        "concurrent inferlets — adaptive (work-conserving) wins, eager is an order of "
+        "magnitude behind."
+    )
+    return result

@@ -1,0 +1,42 @@
+"""The Pie serving system (the paper's contribution).
+
+Three layers, as in the paper (§5):
+
+* **Application layer** — the inferlet runtime (a simulated WebAssembly
+  sandbox), the Inferlet Lifecycle Manager, and the per-inferlet API
+  bindings (:mod:`repro.core.api`).
+* **Control layer** — the controller (:mod:`repro.core.controller`):
+  resource virtualisation, non-GPU API handling, the batch scheduler
+  (:mod:`repro.core.scheduler`, :mod:`repro.core.batching`) and the event
+  dispatcher.
+* **Inference layer** — the API handlers (:mod:`repro.core.handlers`)
+  executing batched calls on the simulated device.
+
+:class:`repro.core.server.PieServer` wires the layers together;
+:class:`repro.core.server.PieClient` is the remote client used by the
+experiments.
+"""
+
+from repro.core.config import PieConfig
+from repro.core.handles import Embed, KvPage, Queue
+from repro.core.command_queue import Command, CommandQueue
+from repro.core.traits import TRAITS, trait_of_api, api_layer
+from repro.core.inferlet import InferletProgram, InferletInstance
+from repro.core.server import PieServer, PieClient, LaunchResult
+
+__all__ = [
+    "PieConfig",
+    "Embed",
+    "KvPage",
+    "Queue",
+    "Command",
+    "CommandQueue",
+    "TRAITS",
+    "trait_of_api",
+    "api_layer",
+    "InferletProgram",
+    "InferletInstance",
+    "PieServer",
+    "PieClient",
+    "LaunchResult",
+]

@@ -1,0 +1,91 @@
+"""Batch formation: vertical and horizontal batching (§5.2, Figure 4).
+
+Given the per-queue pending commands, the batcher computes, for every
+command kind, the largest dispatchable batch:
+
+* **Vertical batching** — the longest prefix of same-kind, non-conflicting
+  commands at the head of each queue (:meth:`CommandQueue.head_run`).
+* **Horizontal batching** — merging those runs across queues, placing
+  commands from higher-priority queues earlier, skipping commands that
+  write-write conflict with already selected ones, and truncating from the
+  tail when the backend's maximum batch size would be exceeded.
+
+The scheduler then picks, among the candidate batches of different kinds,
+the one whose oldest pending command has waited the longest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.command_queue import Command, CommandQueue
+
+
+@dataclass
+class CandidateBatch:
+    """A dispatchable batch of same-kind commands."""
+
+    kind: str
+    commands: List[Command]
+
+    @property
+    def oldest_issue_time(self) -> float:
+        return min(command.issue_time for command in self.commands)
+
+    @property
+    def total_rows(self) -> int:
+        return sum(command.rows for command in self.commands)
+
+    def __len__(self) -> int:
+        return len(self.commands)
+
+
+def form_candidate_batches(
+    queues: Sequence[CommandQueue], max_batch_rows: int
+) -> Dict[str, CandidateBatch]:
+    """Compute the best candidate batch per command kind."""
+    runs_by_kind: Dict[str, List[List[Command]]] = {}
+    for queue in queues:
+        run = queue.head_run(max_batch_rows)
+        if not run:
+            continue
+        runs_by_kind.setdefault(run[0].kind, []).append(run)
+
+    candidates: Dict[str, CandidateBatch] = {}
+    for kind, runs in runs_by_kind.items():
+        merged = _merge_runs(runs, max_batch_rows)
+        if merged:
+            candidates[kind] = CandidateBatch(kind=kind, commands=merged)
+    return candidates
+
+
+def _merge_runs(runs: List[List[Command]], max_batch_rows: int) -> List[Command]:
+    """Horizontal batching: merge per-queue runs into one ordered batch."""
+    # Higher-priority queues are placed earlier so that tail truncation
+    # drops low-priority work first; ties broken by the oldest command.
+    ordered_runs = sorted(
+        runs, key=lambda run: (-run[0].priority, run[0].issue_time, run[0].command_id)
+    )
+    merged: List[Command] = []
+    total_rows = 0
+    for run in ordered_runs:
+        for command in run:
+            if total_rows + command.rows > max_batch_rows:
+                return merged
+            if any(command.conflicts_with(existing) for existing in merged):
+                # A conflicting command blocks the rest of its queue's run
+                # (queue order must be preserved).
+                break
+            merged.append(command)
+            total_rows += command.rows
+    return merged
+
+
+def select_longest_waiting(
+    candidates: Dict[str, CandidateBatch]
+) -> Optional[CandidateBatch]:
+    """Pick the candidate whose oldest pending command has waited longest."""
+    if not candidates:
+        return None
+    return min(candidates.values(), key=lambda batch: batch.oldest_issue_time)

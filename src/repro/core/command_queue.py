@@ -1,0 +1,169 @@
+"""Commands and command queues (§4.1).
+
+A :class:`Command` is one inference-layer API call after virtual-to-physical
+resource translation.  A :class:`CommandQueue` is the logical sequence of
+commands issued by an inferlet on one ``Queue`` handle: commands on the same
+queue execute in issue order, which is what makes dependencies unambiguous
+for the batch scheduler.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, FrozenSet, List, Optional
+
+from repro.errors import SchedulingError
+from repro.sim.futures import SimFuture
+
+_command_ids = itertools.count(1)
+
+#: Command kinds that the inference layer knows how to execute.
+COMMAND_KINDS = (
+    "embed_text",
+    "embed_image",
+    "forward",
+    "sample",
+    "copy_kv",
+    "copy_emb",
+    "mask_kv",
+    "clear_kv",
+    "dealloc_kv",
+    "dealloc_emb",
+)
+
+
+@dataclass
+class Command:
+    """One inference-layer operation, ready to be batched and executed."""
+
+    kind: str
+    inferlet_id: str
+    payload: Dict[str, Any]
+    future: SimFuture
+    issue_time: float
+    queue_key: Any = None
+    priority: int = 0
+    rows: int = 1
+    input_tokens: int = 0
+    context_tokens: int = 0
+    reads: FrozenSet = frozenset()
+    writes: FrozenSet = frozenset()
+    command_id: int = field(default_factory=lambda: next(_command_ids))
+
+    def conflicts_with(self, other: "Command") -> bool:
+        """Write-write conflicts prevent two commands from sharing a batch."""
+        return bool(self.writes & other.writes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Command #{self.command_id} {self.kind} from {self.inferlet_id}>"
+
+
+class CommandQueue:
+    """Scheduler-side state for one inferlet ``Queue`` handle."""
+
+    def __init__(self, key: Any, model: str, owner: str, priority: int = 0) -> None:
+        self.key = key
+        self.model = model
+        self.owner = owner
+        self.priority = priority
+        self._pending: Deque[Command] = deque()
+        self._inflight: int = 0
+        self._barrier_futures: List[tuple] = []  # (remaining_count, future)
+        self._issued = 0
+        self._completed = 0
+
+    # -- issue / dispatch ----------------------------------------------------
+
+    def push(self, command: Command) -> None:
+        command.queue_key = self.key
+        command.priority = self.priority
+        self._pending.append(command)
+        self._issued += 1
+
+    def head_run(self, max_commands: int) -> List[Command]:
+        """Return the longest batchable prefix of pending commands.
+
+        This implements *vertical batching*: consecutive commands of the
+        same kind at the head of the queue that do not write-write conflict
+        with each other.
+        """
+        run: List[Command] = []
+        for command in self._pending:
+            if len(run) >= max_commands:
+                break
+            if run and command.kind != run[0].kind:
+                break
+            if any(command.conflicts_with(existing) for existing in run):
+                break
+            run.append(command)
+        return run
+
+    def pop_commands(self, commands: List[Command]) -> None:
+        """Remove dispatched commands (must be a prefix of the queue)."""
+        for command in commands:
+            if not self._pending or self._pending[0] is not command:
+                raise SchedulingError("dispatched commands must form a queue prefix")
+            self._pending.popleft()
+            self._inflight += 1
+
+    def mark_completed(self, count: int = 1) -> None:
+        self._inflight -= count
+        self._completed += count
+        if self._inflight < 0:
+            raise SchedulingError("completed more commands than were dispatched")
+        self._resolve_barriers()
+
+    # -- synchronization ---------------------------------------------------------
+
+    def synchronize(self, future: SimFuture) -> None:
+        """Resolve ``future`` once all currently issued commands complete."""
+        outstanding = len(self._pending) + self._inflight
+        if outstanding == 0:
+            future.set_result(None)
+            return
+        self._barrier_futures.append([outstanding, future])
+
+    def _resolve_barriers(self) -> None:
+        still_waiting = []
+        for entry in self._barrier_futures:
+            entry[0] -= 1
+            if entry[0] <= 0:
+                if not entry[1].done():
+                    entry[1].set_result(None)
+            else:
+                still_waiting.append(entry)
+        self._barrier_futures = still_waiting
+
+    # -- inspection ---------------------------------------------------------------
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    @property
+    def inflight_count(self) -> int:
+        return self._inflight
+
+    @property
+    def oldest_pending_time(self) -> Optional[float]:
+        return self._pending[0].issue_time if self._pending else None
+
+    @property
+    def head_kind(self) -> Optional[str]:
+        return self._pending[0].kind if self._pending else None
+
+    @property
+    def issued(self) -> int:
+        return self._issued
+
+    @property
+    def completed(self) -> int:
+        return self._completed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<CommandQueue {self.key} model={self.model} pending={self.pending_count} "
+            f"inflight={self._inflight}>"
+        )

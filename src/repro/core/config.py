@@ -1,0 +1,84 @@
+"""Configuration of a Pie server instance."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+from repro.gpu.config import GpuConfig
+
+
+@dataclass(frozen=True)
+class WasmRuntimeConfig:
+    """Simulated WebAssembly runtime parameters (application layer).
+
+    Calibrated against Figure 9: a warm start costs ~10 ms for a single
+    launch and grows to ~50 ms when ~900 inferlets launch simultaneously
+    (the Inferlet Lifecycle Manager serialises a small per-launch handling
+    step); a cold start additionally pays binary upload and JIT
+    compilation.
+    """
+
+    pool_size: int = 1000
+    warm_instantiate_ms: float = 10.0
+    launch_handling_ms: float = 0.09
+    upload_ms: float = 10.0
+    jit_compile_ms: float = 15.0
+    jit_compile_ms_per_mb: float = 4.0
+    per_call_wasm_overhead_ms: float = 0.001
+
+
+@dataclass(frozen=True)
+class ControlLayerConfig:
+    """Control layer overheads and policies.
+
+    The per-call overheads reproduce Figure 10 (API call latency as a
+    function of the number of concurrent inferlets) and the boundary
+    crossing rows of Table 3.
+    """
+
+    # Per-call overhead for calls handled directly by the control layer.
+    control_call_overhead_base_us: float = 5.0
+    control_call_overhead_per_inferlet_us: float = 0.025
+    # Per-call overhead for calls forwarded to the inference layer (IPC
+    # crossing plus Python-side deserialisation that grows with concurrency).
+    inference_call_overhead_base_us: float = 10.0
+    inference_call_overhead_per_inferlet_us: float = 0.30
+    # Fixed costs listed in Table 3.
+    batch_scheduling_overhead_ms: float = 0.050
+    ipc_crossing_ms: float = 0.006
+    app_control_crossing_ms: float = 0.001
+    # Resource-contention policy: "fcfs" terminates the most recently
+    # created inferlets until enough resources are free.
+    contention_policy: str = "fcfs"
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Batch scheduler policy configuration (§5.2, §6.1, Table 5)."""
+
+    policy: str = "adaptive"  # adaptive | eager | k_only | t_only
+    k_threshold: int = 64
+    t_timeout_ms: float = 5.0
+    # Safety flush so the strawman policies cannot deadlock a test run.
+    max_wait_ms: float = 50.0
+
+
+@dataclass(frozen=True)
+class PieConfig:
+    """Top-level Pie server configuration."""
+
+    gpu: GpuConfig = field(default_factory=GpuConfig)
+    wasm: WasmRuntimeConfig = field(default_factory=WasmRuntimeConfig)
+    control: ControlLayerConfig = field(default_factory=ControlLayerConfig)
+    scheduler: SchedulerConfig = field(default_factory=SchedulerConfig)
+    # Top-K truncation of distributions returned by get_next_dist.
+    default_top_k: int = 256
+    # Guard against runaway inferlets (fuel metering in the Wasm runtime).
+    max_api_calls_per_inferlet: int = 1_000_000
+
+    def __post_init__(self) -> None:
+        if self.default_top_k <= 0:
+            raise ReproError("default_top_k must be positive")
+        if self.scheduler.policy not in {"adaptive", "eager", "k_only", "t_only"}:
+            raise ReproError(f"unknown scheduler policy {self.scheduler.policy!r}")

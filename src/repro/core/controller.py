@@ -1,0 +1,406 @@
+"""The control layer (§5.2).
+
+The controller sits between inferlets and the inference layer.  It
+
+* handles non-GPU API calls directly (runtime queries, messaging, I/O);
+* manages allocation and the virtual address mappings of ``Embed`` and
+  ``KvPage`` resources, applying the FCFS termination policy when demand
+  exceeds capacity;
+* translates inference-layer API calls into :class:`Command` objects and
+  feeds them to the per-model batch scheduler;
+* models the per-call overheads of the two layers (Figure 10, Table 3).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, FrozenSet, List, Optional, Sequence
+
+from repro.errors import OutOfResourcesError, ReproError, ResourceError
+from repro.core.command_queue import Command
+from repro.core.config import PieConfig
+from repro.core.handles import Embed, KvPage, Queue
+from repro.core.handlers import ApiHandlers
+from repro.core.inferlet import InferletInstance
+from repro.core.messaging import ExternalServices, MessageBus
+from repro.core.metrics import SystemMetrics
+from repro.core.resources import ResourceManager
+from repro.core.scheduler import BatchScheduler
+from repro.core.traits import api_layer
+from repro.gpu.device import SimDevice
+from repro.gpu.kernels import KernelCostModel
+from repro.gpu.memory import DeviceMemory
+from repro.model.registry import ModelEntry, ModelRegistry
+from repro.sim.futures import SimFuture
+from repro.sim.latency import microseconds
+from repro.sim.simulator import Simulator
+
+
+@dataclass
+class ModelService:
+    """Everything needed to serve one model: device, memory, handlers, scheduler."""
+
+    entry: ModelEntry
+    memory: DeviceMemory
+    device: SimDevice
+    cost_model: KernelCostModel
+    handlers: ApiHandlers
+    scheduler: BatchScheduler
+    resources: ResourceManager
+
+
+class Controller:
+    """The central controller of the control layer."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: PieConfig,
+        registry: ModelRegistry,
+        external: Optional[ExternalServices] = None,
+    ) -> None:
+        self.sim = sim
+        self.config = config
+        self.registry = registry
+        self.external = external or ExternalServices(sim)
+        self.bus = MessageBus(sim)
+        self.metrics = SystemMetrics()
+        self._services: Dict[str, ModelService] = {}
+        self._instances: Dict[str, InferletInstance] = {}
+        self._queue_ids = itertools.count(1)
+        self._terminate_hook: Optional[Callable[[InferletInstance, str], None]] = None
+        for name in registry.names():
+            self._services[name] = self._build_service(registry.get(name))
+
+    def _build_service(self, entry: ModelEntry) -> ModelService:
+        memory = DeviceMemory(entry.config, self.config.gpu)
+        device = SimDevice(self.sim, name=f"gpu:{entry.name}")
+        cost_model = KernelCostModel(entry.config)
+        handlers = ApiHandlers(entry, memory, cost_model, self.config.default_top_k)
+        scheduler = BatchScheduler(
+            self.sim,
+            device,
+            handlers,
+            self.config.scheduler,
+            self.config.gpu,
+            self.config.control,
+        )
+        resources = ResourceManager(memory, model_name=entry.name)
+        return ModelService(
+            entry=entry,
+            memory=memory,
+            device=device,
+            cost_model=cost_model,
+            handlers=handlers,
+            scheduler=scheduler,
+            resources=resources,
+        )
+
+    # -- services & models ----------------------------------------------------
+
+    def service(self, model: str) -> ModelService:
+        try:
+            return self._services[model]
+        except KeyError:
+            raise ReproError(f"model {model!r} is not served; have {sorted(self._services)}") from None
+
+    def available_models(self) -> List[str]:
+        return sorted(self._services)
+
+    def available_traits(self, model: str) -> List[str]:
+        return self.service(model).entry.traits()
+
+    def available_adapters(self, model: str) -> List[str]:
+        return self.service(model).entry.adapters.names()
+
+    def default_model(self) -> str:
+        return self.available_models()[0]
+
+    # -- inferlet registration -----------------------------------------------------
+
+    def register_inferlet(self, instance: InferletInstance) -> None:
+        self._instances[instance.instance_id] = instance
+        self.metrics.register(instance.metrics)
+        for service in self._services.values():
+            service.resources.create_space(instance.instance_id)
+
+    def unregister_inferlet(self, instance: InferletInstance) -> None:
+        self._instances.pop(instance.instance_id, None)
+        for service in self._services.values():
+            for queue in service.scheduler.queues_for_owner(instance.instance_id):
+                service.scheduler.remove_queue(queue.key)
+            if service.resources.has_space(instance.instance_id):
+                service.resources.destroy_space(instance.instance_id)
+
+    def set_terminate_hook(self, hook: Callable[[InferletInstance, str], None]) -> None:
+        """Called by the lifecycle manager so FCFS reclamation can abort tasks."""
+        self._terminate_hook = hook
+
+    @property
+    def concurrent_inferlets(self) -> int:
+        return sum(1 for inst in self._instances.values() if not inst.finished)
+
+    def instances(self) -> List[InferletInstance]:
+        return list(self._instances.values())
+
+    # -- per-call overhead model (Figure 10) --------------------------------------------
+
+    def control_call_overhead(self) -> float:
+        control = self.config.control
+        n = max(1, self.concurrent_inferlets)
+        return microseconds(
+            control.control_call_overhead_base_us
+            + control.control_call_overhead_per_inferlet_us * n
+        )
+
+    def inference_call_overhead(self) -> float:
+        control = self.config.control
+        n = max(1, self.concurrent_inferlets)
+        return microseconds(
+            control.inference_call_overhead_base_us
+            + control.inference_call_overhead_per_inferlet_us * n
+        )
+
+    def charge_call(self, instance: InferletInstance, api_name: str) -> float:
+        """Record an API call and return the overhead it should pay."""
+        layer = api_layer(api_name)
+        instance.metrics.record_call(api_name, layer)
+        if layer == "control":
+            return self.control_call_overhead()
+        return self.inference_call_overhead()
+
+    # -- command queues -------------------------------------------------------------------
+
+    def create_queue(self, instance: InferletInstance, model: Optional[str] = None) -> Queue:
+        model = model or self.default_model()
+        service = self.service(model)
+        qid = next(self._queue_ids)
+        handle = Queue(qid=qid, owner=instance.instance_id, model=model)
+        service.scheduler.create_queue(
+            key=(instance.instance_id, qid), model=model, owner=instance.instance_id
+        )
+        return handle
+
+    def destroy_queue(self, instance: InferletInstance, handle: Queue) -> None:
+        service = self.service(handle.model)
+        service.scheduler.remove_queue((handle.owner, handle.qid))
+        handle.closed = True
+
+    def set_queue_priority(self, handle: Queue, priority: int) -> None:
+        service = self.service(handle.model)
+        service.scheduler.set_priority((handle.owner, handle.qid), priority)
+        handle.priority = priority
+
+    def synchronize(self, handle: Queue) -> SimFuture:
+        service = self.service(handle.model)
+        queue = service.scheduler.get_queue((handle.owner, handle.qid))
+        future = self.sim.create_future(name="synchronize")
+        queue.synchronize(future)
+        return future
+
+    # -- resource allocation (with FCFS contention handling) -----------------------------------
+
+    def alloc_kv_pages(
+        self, instance: InferletInstance, handle: Queue, count: int
+    ) -> List[KvPage]:
+        service = self.service(handle.model)
+        self._ensure_capacity(service, instance, kv_pages=count)
+        return service.resources.alloc_kv_pages(instance.instance_id, count)
+
+    def alloc_embeds(self, instance: InferletInstance, handle: Queue, count: int) -> List[Embed]:
+        service = self.service(handle.model)
+        self._ensure_capacity(service, instance, embeds=count)
+        return service.resources.alloc_embeds(instance.instance_id, count)
+
+    def _ensure_capacity(
+        self,
+        service: ModelService,
+        requester: InferletInstance,
+        kv_pages: int = 0,
+        embeds: int = 0,
+    ) -> None:
+        """FCFS policy: terminate the most recently created inferlets until
+        the request fits.  If the requester itself is the most recently
+        created inferlet, it is the one terminated (first come, first
+        served)."""
+        if self.config.control.contention_policy != "fcfs":
+            return
+        while (
+            service.resources.kv_pages_free < kv_pages
+            or service.resources.embeds_free < embeds
+        ):
+            victim = self._youngest_victim()
+            if victim is None:
+                raise OutOfResourcesError(
+                    f"model {service.entry.name!r} cannot satisfy the allocation "
+                    f"(kv={kv_pages}, emb={embeds}) even after reclamation"
+                )
+            self.terminate_inferlet(victim, reason="resource reclamation (FCFS)")
+            if victim.instance_id == requester.instance_id:
+                requester.check_alive()  # raises InferletTerminated
+
+    def _youngest_victim(self) -> Optional[InferletInstance]:
+        candidates = [inst for inst in self._instances.values() if not inst.finished]
+        if not candidates:
+            return None
+        return max(candidates, key=lambda inst: inst.created_at)
+
+    def terminate_inferlet(self, instance: InferletInstance, reason: str) -> None:
+        instance.mark_terminated(reason)
+        self.metrics.inferlets_terminated += 1
+        if self._terminate_hook is not None:
+            self._terminate_hook(instance, reason)
+        self.unregister_inferlet(instance)
+
+    # -- deferred deallocation (ordering preserved through the command queue) --------------------
+
+    def dealloc_kv_pages(
+        self, instance: InferletInstance, handle: Queue, pages: Sequence[KvPage]
+    ) -> SimFuture:
+        service = self.service(handle.model)
+        pages = list(pages)
+
+        def release() -> None:
+            if service.resources.has_space(instance.instance_id):
+                service.resources.dealloc_kv_pages(instance.instance_id, pages)
+
+        return self.submit_command(
+            instance, handle, "dealloc_kv", {"release": release}, reads=frozenset(), writes=frozenset()
+        )
+
+    def dealloc_embeds(
+        self, instance: InferletInstance, handle: Queue, embeds: Sequence[Embed]
+    ) -> SimFuture:
+        service = self.service(handle.model)
+        embeds = list(embeds)
+
+        def release() -> None:
+            if service.resources.has_space(instance.instance_id):
+                service.resources.dealloc_embeds(instance.instance_id, embeds)
+
+        return self.submit_command(
+            instance, handle, "dealloc_emb", {"release": release}, reads=frozenset(), writes=frozenset()
+        )
+
+    # -- export / import -----------------------------------------------------------------------------
+
+    def export_kv_pages(
+        self, instance: InferletInstance, pages: Sequence[KvPage], name: str
+    ) -> None:
+        if not pages:
+            raise ResourceError("export_kvpage requires at least one page")
+        service = self.service(pages[0].model)
+        service.resources.export_kv_pages(instance.instance_id, pages, name)
+
+    def import_kv_pages(
+        self, instance: InferletInstance, name: str, model: Optional[str] = None
+    ) -> List[KvPage]:
+        model = model or self._find_export_model(name)
+        service = self.service(model)
+        return service.resources.import_kv_pages(instance.instance_id, name)
+
+    def release_export(self, name: str, model: Optional[str] = None) -> None:
+        model = model or self._find_export_model(name)
+        self.service(model).resources.release_export(name)
+
+    def list_exports(self, model: Optional[str] = None) -> List[str]:
+        if model is not None:
+            return self.service(model).resources.list_exports()
+        names: List[str] = []
+        for service in self._services.values():
+            names.extend(service.resources.list_exports())
+        return sorted(names)
+
+    def _find_export_model(self, name: str) -> str:
+        for model, service in self._services.items():
+            if service.resources.has_export(name):
+                return model
+        raise ResourceError(f"no export named {name!r} in any served model")
+
+    # -- command submission ----------------------------------------------------------------------------
+
+    def submit_command(
+        self,
+        instance: InferletInstance,
+        handle: Queue,
+        kind: str,
+        payload: Dict[str, Any],
+        rows: int = 1,
+        input_tokens: int = 0,
+        context_tokens: int = 0,
+        reads: FrozenSet = frozenset(),
+        writes: FrozenSet = frozenset(),
+    ) -> SimFuture:
+        """Create a command and deliver it to the scheduler after the
+        inference-layer call overhead has elapsed."""
+        instance.check_alive()
+        service = self.service(handle.model)
+        future = self.sim.create_future(name=f"{kind}:{instance.instance_id}")
+        command = Command(
+            kind=kind,
+            inferlet_id=instance.instance_id,
+            payload=payload,
+            future=future,
+            issue_time=self.sim.now,
+            rows=rows,
+            input_tokens=input_tokens,
+            context_tokens=context_tokens,
+            reads=reads,
+            writes=writes,
+        )
+        overhead = self.inference_call_overhead()
+        queue_key = (handle.owner, handle.qid)
+        self.sim.schedule(overhead, self._deliver_command, service, queue_key, command)
+        return future
+
+    @staticmethod
+    def _deliver_command(service: ModelService, queue_key: Any, command: Command) -> None:
+        # The owning inferlet may have finished (or been terminated) between
+        # issuing the call and its delivery; its queues are gone and the
+        # command is dropped.  Resolving the future keeps any stray awaiters
+        # from deadlocking.
+        try:
+            service.scheduler.get_queue(queue_key)
+        except Exception:
+            if not command.future.done():
+                command.future.set_result(None)
+            return
+        service.scheduler.submit(queue_key, command)
+
+    # -- resolution helpers used by the API bindings -------------------------------------------------------
+
+    def resolve_kv(self, instance: InferletInstance, handle: Queue, pages: Sequence[KvPage]) -> List[int]:
+        service = self.service(handle.model)
+        return service.resources.resolve_kv_many(instance.instance_id, pages)
+
+    def resolve_emb(self, instance: InferletInstance, handle: Queue, embeds: Sequence[Embed]) -> List[int]:
+        service = self.service(handle.model)
+        return service.resources.resolve_emb_many(instance.instance_id, embeds)
+
+    # -- messaging and I/O --------------------------------------------------------------------------------------
+
+    def client_send(self, instance: InferletInstance, message: Any) -> None:
+        if instance.channel is None:
+            raise ReproError("inferlet has no client channel")
+        instance.channel.send_to_client(message)
+
+    def client_receive(self, instance: InferletInstance) -> SimFuture:
+        if instance.channel is None:
+            raise ReproError("inferlet has no client channel")
+        return instance.channel.receive_from_client()
+
+    def http_request(self, url: str, payload: Any = None) -> SimFuture:
+        return self.sim.create_task(self.external.request(url, payload), name=f"http:{url}")
+
+    def broadcast(self, instance: InferletInstance, topic: str, message: Any) -> int:
+        return self.bus.broadcast(topic, message, sender_id=instance.instance_id)
+
+    def subscribe(self, instance: InferletInstance, topic: str) -> None:
+        self.bus.subscribe(topic, instance.instance_id)
+
+    def unsubscribe(self, instance: InferletInstance, topic: str) -> None:
+        self.bus.unsubscribe(topic, instance.instance_id)
+
+    def next_broadcast(self, instance: InferletInstance, topic: str) -> SimFuture:
+        return self.bus.next_message(topic, instance.instance_id)

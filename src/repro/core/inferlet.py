@@ -1,0 +1,93 @@
+"""Inferlet programs and instances.
+
+An :class:`InferletProgram` is what a developer ships: an async ``main``
+function (standing in for a compiled Wasm module) plus metadata mirroring
+Table 2 (source lines of code, binary size, which requirements R1-R3 it
+exercises).  An :class:`InferletInstance` is one launched execution of a
+program: it owns the client channel, the metrics record, the per-inferlet
+RNG and the accumulated (not yet charged) API-call overhead.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import InferletTerminated
+from repro.core.metrics import InferletMetrics
+from repro.core.messaging import ClientChannel
+
+_instance_ids = itertools.count(1)
+
+
+@dataclass
+class InferletProgram:
+    """A user-provided program that orchestrates LLM generation."""
+
+    name: str
+    main: Callable[..., Any]
+    description: str = ""
+    binary_size: int = 131_072
+    source_loc: int = 0
+    requirements: Tuple[str, ...] = ()
+    traits_needed: Tuple[str, ...] = ("Forward", "InputText", "Tokenize", "OutputText")
+
+    def __post_init__(self) -> None:
+        if not callable(self.main):
+            raise TypeError("InferletProgram.main must be an async callable")
+
+
+class InferletInstance:
+    """One running (or finished) execution of an inferlet program."""
+
+    def __init__(
+        self,
+        program: InferletProgram,
+        args: Optional[Sequence[str]] = None,
+        instance_id: Optional[str] = None,
+        seed: int = 0,
+    ) -> None:
+        self.program = program
+        self.args: List[str] = list(args or [])
+        self.instance_id = instance_id or f"{program.name}-{next(_instance_ids)}"
+        self.metrics = InferletMetrics(inferlet_id=self.instance_id)
+        self.channel: Optional[ClientChannel] = None
+        self.task = None  # set by the lifecycle manager
+        self.rng = np.random.default_rng(seed)
+        self.pending_overhead = 0.0
+        self.result: Any = None
+        self.created_at: float = 0.0
+        self._terminated_reason: Optional[str] = None
+
+    # -- status ---------------------------------------------------------------
+
+    @property
+    def status(self) -> str:
+        return self.metrics.status
+
+    @property
+    def finished(self) -> bool:
+        return self.metrics.status in ("finished", "failed", "terminated")
+
+    @property
+    def terminated_reason(self) -> Optional[str]:
+        return self._terminated_reason
+
+    # -- termination -------------------------------------------------------------
+
+    def mark_terminated(self, reason: str) -> None:
+        self._terminated_reason = reason
+        self.metrics.status = "terminated"
+
+    def check_alive(self) -> None:
+        """Raise if the instance was terminated (called from API bindings)."""
+        if self.metrics.status == "terminated":
+            raise InferletTerminated(
+                f"inferlet {self.instance_id} was terminated: {self._terminated_reason}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<InferletInstance {self.instance_id} status={self.status}>"

@@ -1,0 +1,193 @@
+"""The Inferlet Lifecycle Manager (application layer, §5.1).
+
+The ILM owns inferlet creation, destruction and communication.  Launch
+requests are serviced by a single launch executor (the serialised part of
+Figure 9's launch latency); each launched inferlet gets a sandboxed
+runtime instance, a client channel, and a task on the simulator that runs
+the program to completion and releases its resources afterwards.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import CancelledError, InferletError, InferletTerminated
+from repro.core.api import InferletContext
+from repro.core.config import PieConfig
+from repro.core.controller import Controller
+from repro.core.inferlet import InferletInstance, InferletProgram
+from repro.core.messaging import ClientChannel
+from repro.core.wasm import WasmBinary, WasmRuntime
+from repro.sim.futures import SimFuture
+from repro.sim.latency import milliseconds
+from repro.sim.simulator import Simulator
+
+
+class InferletLifecycleManager:
+    """Creates, runs, monitors and destroys inferlet instances."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: PieConfig,
+        controller: Controller,
+        runtime: WasmRuntime,
+    ) -> None:
+        self.sim = sim
+        self.config = config
+        self.controller = controller
+        self.runtime = runtime
+        self._programs: Dict[str, InferletProgram] = {}
+        self._launch_queue: Deque[Tuple[InferletInstance, SimFuture]] = deque()
+        self._launch_worker_busy = False
+        self._seed_counter = 0
+        controller.set_terminate_hook(self._on_forced_termination)
+
+    # -- program registry ------------------------------------------------------
+
+    def register_program(self, program: InferletProgram, precompiled: bool = True) -> None:
+        """Install an inferlet program on the server.
+
+        ``precompiled=True`` corresponds to the paper's warm start: the Wasm
+        binary is already cached and JIT compiled on the server.
+        """
+        self._programs[program.name] = program
+        binary = WasmBinary(
+            name=program.name,
+            program=program.main,
+            size_bytes=program.binary_size,
+            source_loc=program.source_loc,
+        )
+        if precompiled:
+            self.runtime.register_cached(binary)
+
+    async def upload_program(self, program: InferletProgram) -> float:
+        """Cold-start path: upload + JIT compile the binary; returns time spent."""
+        self._programs[program.name] = program
+        binary = WasmBinary(
+            name=program.name,
+            program=program.main,
+            size_bytes=program.binary_size,
+            source_loc=program.source_loc,
+        )
+        return await self.runtime.upload(binary, force=True)
+
+    def get_program(self, name: str) -> InferletProgram:
+        try:
+            return self._programs[name]
+        except KeyError:
+            raise InferletError(f"no inferlet program named {name!r}") from None
+
+    def program_names(self) -> List[str]:
+        return sorted(self._programs)
+
+    # -- launching --------------------------------------------------------------------
+
+    def launch(
+        self,
+        name: str,
+        args: Optional[Sequence[str]] = None,
+        seed: Optional[int] = None,
+    ) -> Tuple[InferletInstance, SimFuture]:
+        """Request a launch; returns the instance and a future that resolves
+        once the inferlet is running (acknowledging the launch)."""
+        program = self.get_program(name)
+        if seed is None:
+            self._seed_counter += 1
+            seed = self._seed_counter
+        instance = InferletInstance(program, args=args, seed=seed)
+        instance.created_at = self.sim.now
+        instance.metrics.launched_at = self.sim.now
+        instance.channel = ClientChannel(self.sim, instance.instance_id)
+        ready = self.sim.create_future(name=f"launch:{instance.instance_id}")
+        self._launch_queue.append((instance, ready))
+        self._pump_launch_queue()
+        return instance, ready
+
+    def _pump_launch_queue(self) -> None:
+        if self._launch_worker_busy or not self._launch_queue:
+            return
+        self._launch_worker_busy = True
+        instance, ready = self._launch_queue.popleft()
+        self.sim.create_task(self._launch_one(instance, ready), name=f"ilm:{instance.instance_id}")
+
+    async def _launch_one(self, instance: InferletInstance, ready: SimFuture) -> None:
+        # Serialised per-launch handling at the ILM (queueing under bursts).
+        await self.sim.sleep(milliseconds(self.config.wasm.launch_handling_ms))
+        self._launch_worker_busy = False
+        self._pump_launch_queue()
+        try:
+            await self.runtime.instantiate(instance.program.name)
+        except InferletError as exc:
+            instance.metrics.status = "failed"
+            self.controller.metrics.inferlets_failed += 1
+            ready.set_exception(exc)
+            return
+        self.controller.register_inferlet(instance)
+        instance.metrics.status = "running"
+        instance.metrics.started_at = self.sim.now
+        self.controller.metrics.launch_latencies.append(self.sim.now - instance.created_at)
+        ctx = InferletContext(
+            instance,
+            self.controller,
+            wasm_overhead_seconds=self.runtime.per_call_overhead_seconds(),
+        )
+        instance.task = self.sim.create_task(
+            self._run_program(instance, ctx), name=f"inferlet:{instance.instance_id}"
+        )
+        ready.set_result(instance)
+
+    async def _run_program(self, instance: InferletInstance, ctx: InferletContext) -> Any:
+        try:
+            result = await self._invoke(instance.program.main, ctx, instance.args)
+            instance.result = result
+            if instance.metrics.status == "running":
+                instance.metrics.status = "finished"
+                self.controller.metrics.inferlets_finished += 1
+            return result
+        except (CancelledError, InferletTerminated):
+            if instance.metrics.status != "terminated":
+                instance.metrics.status = "terminated"
+            raise
+        except Exception:
+            instance.metrics.status = "failed"
+            self.controller.metrics.inferlets_failed += 1
+            raise
+        finally:
+            instance.metrics.finished_at = self.sim.now
+            self.runtime.release_instance()
+            if instance.metrics.status != "terminated":
+                # Terminated instances were already cleaned up by the controller.
+                self.controller.unregister_inferlet(instance)
+
+    async def _invoke(self, main, ctx: InferletContext, args: List[str]) -> Any:
+        coro_or_value = main(ctx)
+        if hasattr(coro_or_value, "__await__"):
+            return await coro_or_value
+        return coro_or_value
+
+    # -- termination -----------------------------------------------------------------------
+
+    def _on_forced_termination(self, instance: InferletInstance, reason: str) -> None:
+        if instance.task is not None and not instance.task.done():
+            instance.task.cancel()
+
+    def abort(self, instance: InferletInstance, reason: str = "client abort") -> None:
+        """Abort a running inferlet on behalf of its client."""
+        self.controller.terminate_inferlet(instance, reason)
+
+    # -- client communication -----------------------------------------------------------------
+
+    def wait_for_completion(self, instance: InferletInstance) -> SimFuture:
+        """Future resolving when the inferlet's task finishes (result or error)."""
+        done = self.sim.create_future(name=f"wait:{instance.instance_id}")
+
+        def check(_=None):
+            if instance.task is None:
+                self.sim.schedule(0.001, check)
+                return
+            instance.task.add_done_callback(lambda fut: done.set_result(instance) if not done.done() else None)
+
+        check()
+        return done

@@ -1,0 +1,83 @@
+"""Metrics collected by the control layer.
+
+The experiments in §7.4 need per-inferlet API call accounting (Figure 10 and
+11) and system-wide throughput/latency statistics; everything is collected
+here rather than scattered through the system so experiments have one place
+to read from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class InferletMetrics:
+    """Per-inferlet counters."""
+
+    inferlet_id: str
+    launched_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    status: str = "pending"  # pending | running | finished | failed | terminated
+    control_layer_calls: int = 0
+    inference_layer_calls: int = 0
+    output_tokens: int = 0
+    calls_by_api: Dict[str, int] = field(default_factory=dict)
+
+    def record_call(self, api_name: str, layer: str) -> None:
+        self.calls_by_api[api_name] = self.calls_by_api.get(api_name, 0) + 1
+        if layer == "control":
+            self.control_layer_calls += 1
+        else:
+            self.inference_layer_calls += 1
+
+    @property
+    def total_calls(self) -> int:
+        return self.control_layer_calls + self.inference_layer_calls
+
+    @property
+    def latency(self) -> Optional[float]:
+        if self.finished_at is None or self.started_at is None:
+            return None
+        return self.finished_at - self.started_at
+
+    def calls_per_output_token(self) -> Dict[str, float]:
+        """Figure 11: average API calls per generated output token."""
+        tokens = max(1, self.output_tokens)
+        return {
+            "control": self.control_layer_calls / tokens,
+            "inference": self.inference_layer_calls / tokens,
+        }
+
+
+@dataclass
+class SystemMetrics:
+    """Server-wide counters."""
+
+    inferlets_launched: int = 0
+    inferlets_finished: int = 0
+    inferlets_terminated: int = 0
+    inferlets_failed: int = 0
+    total_output_tokens: int = 0
+    launch_latencies: List[float] = field(default_factory=list)
+    per_inferlet: Dict[str, InferletMetrics] = field(default_factory=dict)
+
+    def register(self, metrics: InferletMetrics) -> None:
+        self.per_inferlet[metrics.inferlet_id] = metrics
+        self.inferlets_launched += 1
+
+    def get(self, inferlet_id: str) -> InferletMetrics:
+        return self.per_inferlet[inferlet_id]
+
+    def aggregate_calls_per_output_token(self) -> Dict[str, float]:
+        control = sum(m.control_layer_calls for m in self.per_inferlet.values())
+        inference = sum(m.inference_layer_calls for m in self.per_inferlet.values())
+        tokens = max(1, sum(m.output_tokens for m in self.per_inferlet.values()))
+        return {"control": control / tokens, "inference": inference / tokens}
+
+    def mean_launch_latency(self) -> float:
+        if not self.launch_latencies:
+            return 0.0
+        return sum(self.launch_latencies) / len(self.launch_latencies)

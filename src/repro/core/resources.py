@@ -1,0 +1,251 @@
+"""Resource virtualisation: per-inferlet address spaces and export/import.
+
+Each inferlet sees opaque virtual handles (:class:`~repro.core.handles.KvPage`
+and :class:`~repro.core.handles.Embed`); the control layer maps them onto
+physical page/slot ids in device memory.  Physical resources are reference
+counted so that pages can be shared between inferlets through the
+``export_kvpage`` / ``import_kvpage`` APIs (the mechanism behind
+application-controlled prefix caching) and survive the exporter's exit.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ResourceError
+from repro.core.handles import Embed, KvPage
+from repro.gpu.memory import DeviceMemory
+
+
+class _RefCounter:
+    """Reference counts for physical resource ids of one kind."""
+
+    def __init__(self) -> None:
+        self._counts: Dict[int, int] = {}
+
+    def incref(self, physical_id: int) -> None:
+        self._counts[physical_id] = self._counts.get(physical_id, 0) + 1
+
+    def decref(self, physical_id: int) -> bool:
+        """Decrement; return True if the count dropped to zero."""
+        if physical_id not in self._counts:
+            raise ResourceError(f"refcount underflow for physical id {physical_id}")
+        self._counts[physical_id] -= 1
+        if self._counts[physical_id] == 0:
+            del self._counts[physical_id]
+            return True
+        return False
+
+    def count(self, physical_id: int) -> int:
+        return self._counts.get(physical_id, 0)
+
+
+@dataclass
+class ExportEntry:
+    """A named export of KV pages, importable by other inferlets."""
+
+    name: str
+    physical_ids: List[int]
+    exporter: str
+    imports: int = 0
+
+
+@dataclass
+class _Space:
+    """One inferlet's virtual address space."""
+
+    owner: str
+    kv_map: Dict[int, int] = field(default_factory=dict)
+    emb_map: Dict[int, int] = field(default_factory=dict)
+    next_kv_vid: "itertools.count" = field(default_factory=lambda: itertools.count(1))
+    next_emb_vid: "itertools.count" = field(default_factory=lambda: itertools.count(1))
+
+
+class ResourceManager:
+    """Global resource pool manager + per-inferlet virtual address spaces."""
+
+    def __init__(self, memory: DeviceMemory, model_name: str = "") -> None:
+        self.memory = memory
+        self.model_name = model_name
+        self._spaces: Dict[str, _Space] = {}
+        self._kv_refs = _RefCounter()
+        self._emb_refs = _RefCounter()
+        self._exports: Dict[str, ExportEntry] = {}
+        self.page_size = memory.model_config.kv_page_size
+
+    # -- address space lifecycle -------------------------------------------
+
+    def create_space(self, owner: str) -> None:
+        if owner in self._spaces:
+            raise ResourceError(f"address space for {owner!r} already exists")
+        self._spaces[owner] = _Space(owner=owner)
+
+    def destroy_space(self, owner: str) -> None:
+        """Release every resource still referenced by an inferlet's space."""
+        space = self._space(owner)
+        for physical_id in list(space.kv_map.values()):
+            self._release_kv(physical_id)
+        for physical_id in list(space.emb_map.values()):
+            self._release_emb(physical_id)
+        del self._spaces[owner]
+
+    def has_space(self, owner: str) -> bool:
+        return owner in self._spaces
+
+    def _space(self, owner: str) -> _Space:
+        try:
+            return self._spaces[owner]
+        except KeyError:
+            raise ResourceError(f"no address space for inferlet {owner!r}") from None
+
+    # -- usage accounting -----------------------------------------------------
+
+    def kv_pages_used_by(self, owner: str) -> int:
+        return len(self._space(owner).kv_map)
+
+    def embeds_used_by(self, owner: str) -> int:
+        return len(self._space(owner).emb_map)
+
+    @property
+    def kv_pages_free(self) -> int:
+        return self.memory.kv_pages.num_free
+
+    @property
+    def embeds_free(self) -> int:
+        return self.memory.embeds.num_free
+
+    # -- KV pages ---------------------------------------------------------------
+
+    def alloc_kv_pages(self, owner: str, count: int) -> List[KvPage]:
+        space = self._space(owner)
+        physical_ids = self.memory.kv_pages.allocate(count)
+        handles = []
+        for physical_id in physical_ids:
+            vid = next(space.next_kv_vid)
+            space.kv_map[vid] = physical_id
+            self._kv_refs.incref(physical_id)
+            handles.append(
+                KvPage(vid=vid, owner=owner, page_size=self.page_size, model=self.model_name)
+            )
+        return handles
+
+    def dealloc_kv_pages(self, owner: str, handles: Sequence[KvPage]) -> None:
+        space = self._space(owner)
+        for handle in handles:
+            self._check_owner(handle.owner, owner, handle)
+            physical_id = space.kv_map.pop(handle.vid, None)
+            if physical_id is None:
+                raise ResourceError(f"{handle!r} is not mapped (double free?)")
+            self._release_kv(physical_id)
+
+    def resolve_kv(self, owner: str, handle: KvPage) -> int:
+        space = self._space(owner)
+        self._check_owner(handle.owner, owner, handle)
+        try:
+            return space.kv_map[handle.vid]
+        except KeyError:
+            raise ResourceError(f"{handle!r} is not mapped in {owner!r}") from None
+
+    def resolve_kv_many(self, owner: str, handles: Sequence[KvPage]) -> List[int]:
+        return [self.resolve_kv(owner, handle) for handle in handles]
+
+    def _release_kv(self, physical_id: int) -> None:
+        if self._kv_refs.decref(physical_id):
+            self.memory.kv_pages.free([physical_id])
+
+    # -- embeddings ----------------------------------------------------------------
+
+    def alloc_embeds(self, owner: str, count: int) -> List[Embed]:
+        space = self._space(owner)
+        physical_ids = self.memory.embeds.allocate(count)
+        handles = []
+        for physical_id in physical_ids:
+            vid = next(space.next_emb_vid)
+            space.emb_map[vid] = physical_id
+            self._emb_refs.incref(physical_id)
+            handles.append(Embed(vid=vid, owner=owner, model=self.model_name))
+        return handles
+
+    def dealloc_embeds(self, owner: str, handles: Sequence[Embed]) -> None:
+        space = self._space(owner)
+        for handle in handles:
+            self._check_owner(handle.owner, owner, handle)
+            physical_id = space.emb_map.pop(handle.vid, None)
+            if physical_id is None:
+                raise ResourceError(f"{handle!r} is not mapped (double free?)")
+            self._release_emb(physical_id)
+
+    def resolve_emb(self, owner: str, handle: Embed) -> int:
+        space = self._space(owner)
+        self._check_owner(handle.owner, owner, handle)
+        try:
+            return space.emb_map[handle.vid]
+        except KeyError:
+            raise ResourceError(f"{handle!r} is not mapped in {owner!r}") from None
+
+    def resolve_emb_many(self, owner: str, handles: Sequence[Embed]) -> List[int]:
+        return [self.resolve_emb(owner, handle) for handle in handles]
+
+    def _release_emb(self, physical_id: int) -> None:
+        if self._emb_refs.decref(physical_id):
+            self.memory.embeds.free([physical_id])
+
+    # -- export / import ----------------------------------------------------------
+
+    def export_kv_pages(self, owner: str, handles: Sequence[KvPage], name: str) -> None:
+        """Publish KV pages under a name; they survive the exporter's exit."""
+        if name in self._exports:
+            raise ResourceError(f"export name {name!r} already in use")
+        physical_ids = self.resolve_kv_many(owner, handles)
+        for physical_id in physical_ids:
+            self._kv_refs.incref(physical_id)
+        self._exports[name] = ExportEntry(name=name, physical_ids=physical_ids, exporter=owner)
+
+    def import_kv_pages(self, owner: str, name: str) -> List[KvPage]:
+        """Map an exported page set into the importer's address space."""
+        entry = self._get_export(name)
+        space = self._space(owner)
+        handles = []
+        entry.imports += 1
+        for physical_id in entry.physical_ids:
+            vid = next(space.next_kv_vid)
+            space.kv_map[vid] = physical_id
+            self._kv_refs.incref(physical_id)
+            handles.append(
+                KvPage(vid=vid, owner=owner, page_size=self.page_size, model=self.model_name)
+            )
+        return handles
+
+    def release_export(self, name: str) -> None:
+        """Drop an export entry (pages are freed once no space references them)."""
+        entry = self._get_export(name)
+        for physical_id in entry.physical_ids:
+            self._release_kv(physical_id)
+        del self._exports[name]
+
+    def list_exports(self) -> List[str]:
+        return sorted(self._exports)
+
+    def has_export(self, name: str) -> bool:
+        return name in self._exports
+
+    def export_info(self, name: str) -> ExportEntry:
+        return self._get_export(name)
+
+    def _get_export(self, name: str) -> ExportEntry:
+        try:
+            return self._exports[name]
+        except KeyError:
+            raise ResourceError(f"no export named {name!r}") from None
+
+    # -- misc -----------------------------------------------------------------------
+
+    @staticmethod
+    def _check_owner(handle_owner: str, owner: str, handle: object) -> None:
+        if handle_owner != owner:
+            raise ResourceError(
+                f"{handle!r} belongs to {handle_owner!r}, not {owner!r}; "
+                "use export/import to share resources"
+            )

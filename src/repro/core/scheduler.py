@@ -1,0 +1,264 @@
+"""The batch scheduler: dispatch policies over the command queues (§5.2, §6.1).
+
+Four policies are provided, matching the paper's Table 5 comparison:
+
+* ``adaptive`` — the paper's work-conserving policy: whenever the GPU is
+  idle and any command is pending, immediately form and dispatch the best
+  batch (the inference layer notifies the control layer the moment the
+  device becomes idle).
+* ``eager``    — no batching: every command is dispatched on its own.
+* ``k_only``   — fixed-size batching: dispatch once some kind has at least
+  ``k_threshold`` pending commands (with a safety flush so the system
+  cannot stall below the threshold).
+* ``t_only``   — timeout batching: dispatch once the oldest pending command
+  has waited ``t_timeout_ms``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.errors import SchedulingError
+from repro.core.batching import CandidateBatch, form_candidate_batches, select_longest_waiting
+from repro.core.command_queue import Command, CommandQueue
+from repro.core.config import ControlLayerConfig, SchedulerConfig
+from repro.core.handlers import ApiHandlers
+from repro.gpu.config import GpuConfig
+from repro.gpu.device import SimDevice
+from repro.sim.latency import milliseconds
+from repro.sim.simulator import Simulator
+
+
+@dataclass
+class SchedulerStats:
+    """Dispatch statistics used by the experiments."""
+
+    batches_dispatched: int = 0
+    commands_dispatched: int = 0
+    batches_by_kind: Dict[str, int] = field(default_factory=dict)
+    batch_sizes: List[int] = field(default_factory=list)
+
+    def record(self, batch: CandidateBatch) -> None:
+        self.batches_dispatched += 1
+        self.commands_dispatched += len(batch.commands)
+        self.batches_by_kind[batch.kind] = self.batches_by_kind.get(batch.kind, 0) + 1
+        self.batch_sizes.append(len(batch.commands))
+
+    @property
+    def mean_batch_size(self) -> float:
+        if not self.batch_sizes:
+            return 0.0
+        return sum(self.batch_sizes) / len(self.batch_sizes)
+
+
+class BatchScheduler:
+    """Groups compatible commands into batches and drives the device."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        device: SimDevice,
+        handlers: ApiHandlers,
+        scheduler_config: SchedulerConfig,
+        gpu_config: GpuConfig,
+        control_config: ControlLayerConfig,
+    ) -> None:
+        self.sim = sim
+        self.device = device
+        self.handlers = handlers
+        self.config = scheduler_config
+        self.gpu_config = gpu_config
+        self.control_config = control_config
+        self.stats = SchedulerStats()
+        self._queues: Dict[Any, CommandQueue] = {}
+        self._flush_scheduled = False
+        self._adaptive_dispatch_pending = False
+        self.device.on_idle(self._on_device_idle)
+
+    # -- queue management ---------------------------------------------------
+
+    def create_queue(self, key: Any, model: str, owner: str, priority: int = 0) -> CommandQueue:
+        if key in self._queues:
+            raise SchedulingError(f"command queue {key!r} already exists")
+        queue = CommandQueue(key=key, model=model, owner=owner, priority=priority)
+        self._queues[key] = queue
+        return queue
+
+    def get_queue(self, key: Any) -> CommandQueue:
+        try:
+            return self._queues[key]
+        except KeyError:
+            raise SchedulingError(f"unknown command queue {key!r}") from None
+
+    def remove_queue(self, key: Any) -> None:
+        self._queues.pop(key, None)
+
+    def set_priority(self, key: Any, priority: int) -> None:
+        self.get_queue(key).priority = priority
+
+    def queues_for_owner(self, owner: str) -> List[CommandQueue]:
+        return [queue for queue in self._queues.values() if queue.owner == owner]
+
+    # -- submission -------------------------------------------------------------
+
+    def submit(self, key: Any, command: Command) -> None:
+        queue = self.get_queue(key)
+        queue.push(command)
+        self._policy_on_submit()
+
+    @property
+    def total_pending(self) -> int:
+        return sum(queue.pending_count for queue in self._queues.values())
+
+    # -- policy hooks --------------------------------------------------------------
+
+    def _policy_on_submit(self) -> None:
+        policy = self.config.policy
+        if policy == "eager":
+            self._dispatch_all_individually()
+        elif policy == "adaptive":
+            if not self.device.busy:
+                self._schedule_adaptive_dispatch()
+        elif policy == "k_only":
+            self._dispatch_if_threshold_met()
+            self._arm_safety_flush()
+        elif policy == "t_only":
+            self._arm_timeout_flush()
+        else:  # pragma: no cover - guarded by PieConfig validation
+            raise SchedulingError(f"unknown policy {policy!r}")
+
+    def _on_device_idle(self) -> None:
+        delay = self._formation_delay()
+        if self.config.policy == "adaptive":
+            self._schedule_adaptive_dispatch()
+        elif self.config.policy == "k_only":
+            self.sim.schedule(delay, self._dispatch_if_threshold_met)
+        # eager and t_only dispatch purely on their own triggers.
+
+    def _formation_delay(self) -> float:
+        """Time between a dispatch trigger and the batch actually forming.
+
+        The idle notification crosses the inference->control IPC boundary and
+        batch formation itself takes time (§6.1); during that window the
+        calls triggered by the just-completed batch arrive and join the next
+        batch.  Modelling the delay is what makes the adaptive policy
+        actually work-conserving instead of dispatching fragments.
+        """
+        return milliseconds(
+            self.control_config.ipc_crossing_ms + self.control_config.batch_scheduling_overhead_ms
+        )
+
+    def _schedule_adaptive_dispatch(self) -> None:
+        if self._adaptive_dispatch_pending:
+            return
+        self._adaptive_dispatch_pending = True
+        self.sim.schedule(self._formation_delay(), self._adaptive_dispatch)
+
+    def _adaptive_dispatch(self) -> None:
+        self._adaptive_dispatch_pending = False
+        if not self.device.busy:
+            self._dispatch_best()
+
+    # -- policy implementations -------------------------------------------------------
+
+    def _dispatch_best(self) -> None:
+        candidates = form_candidate_batches(
+            list(self._queues.values()), self.gpu_config.max_batch_rows
+        )
+        batch = select_longest_waiting(candidates)
+        if batch is not None:
+            self._dispatch(batch)
+
+    def _dispatch_all_individually(self) -> None:
+        for queue in self._queues.values():
+            while queue.pending_count:
+                run = queue.head_run(1)
+                if not run:
+                    break
+                self._dispatch(CandidateBatch(kind=run[0].kind, commands=run))
+
+    def _dispatch_if_threshold_met(self) -> None:
+        while True:
+            candidates = form_candidate_batches(
+                list(self._queues.values()), self.gpu_config.max_batch_rows
+            )
+            eligible = {
+                kind: batch
+                for kind, batch in candidates.items()
+                if len(batch) >= self.config.k_threshold
+            }
+            batch = select_longest_waiting(eligible)
+            if batch is None:
+                return
+            self._dispatch(batch)
+
+    def _arm_safety_flush(self) -> None:
+        if self._flush_scheduled:
+            return
+        self._flush_scheduled = True
+        self.sim.schedule(milliseconds(self.config.max_wait_ms), self._safety_flush)
+
+    def _safety_flush(self) -> None:
+        self._flush_scheduled = False
+        if self.total_pending:
+            self._dispatch_best()
+            self._arm_safety_flush()
+
+    def _arm_timeout_flush(self) -> None:
+        self.sim.schedule(milliseconds(self.config.t_timeout_ms), self._timeout_flush)
+
+    def _timeout_flush(self) -> None:
+        now = self.sim.now
+        deadline = milliseconds(self.config.t_timeout_ms)
+        candidates = form_candidate_batches(
+            list(self._queues.values()), self.gpu_config.max_batch_rows
+        )
+        ripe = {
+            kind: batch
+            for kind, batch in candidates.items()
+            if now - batch.oldest_issue_time >= deadline - 1e-12
+        }
+        batch = select_longest_waiting(ripe)
+        if batch is not None:
+            self._dispatch(batch)
+
+    # -- dispatch --------------------------------------------------------------------------
+
+    def _dispatch(self, batch: CandidateBatch) -> None:
+        for queue_key, run in self._group_by_queue(batch.commands).items():
+            self.get_queue(queue_key).pop_commands(run)
+        self.stats.record(batch)
+        cost = self.handlers.batch_cost_seconds(batch.kind, batch.commands)
+        cost += milliseconds(self.control_config.batch_scheduling_overhead_ms)
+        cost += milliseconds(self.control_config.ipc_crossing_ms)
+        future = self.device.submit(
+            kind=batch.kind,
+            run=lambda batch=batch: self.handlers.execute_batch(batch.kind, batch.commands),
+            cost_seconds=cost,
+            size=len(batch.commands),
+        )
+        future.add_done_callback(lambda fut, batch=batch: self._on_batch_done(batch, fut))
+
+    @staticmethod
+    def _group_by_queue(commands: List[Command]) -> Dict[Any, List[Command]]:
+        grouped: Dict[Any, List[Command]] = {}
+        for command in commands:
+            grouped.setdefault(command.queue_key, []).append(command)
+        return grouped
+
+    def _on_batch_done(self, batch: CandidateBatch, future) -> None:
+        error = future.exception()
+        results = future.result() if error is None else None
+        for index, command in enumerate(batch.commands):
+            queue = self._queues.get(command.queue_key)
+            if queue is not None:
+                queue.mark_completed()
+            if command.future.done():
+                continue
+            if error is not None:
+                command.future.set_exception(error)
+            elif isinstance(results[index], BaseException):
+                command.future.set_exception(results[index])
+            else:
+                command.future.set_result(results[index])

@@ -1,0 +1,57 @@
+"""Exception hierarchy shared across the repro package.
+
+Every subsystem raises exceptions derived from :class:`ReproError` so that
+callers (tests, the benchmark harness, inferlets) can catch failures at the
+granularity they care about without importing subsystem internals.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class SimulationError(ReproError):
+    """Raised for misuse of the discrete-event simulation kernel."""
+
+
+class CancelledError(SimulationError):
+    """Raised inside a coroutine whose task has been cancelled."""
+
+
+class OutOfResourcesError(ReproError):
+    """Raised when a physical resource pool (KV pages, embeddings) is empty."""
+
+
+class ResourceError(ReproError):
+    """Raised for invalid resource usage (double free, unknown handle, ...)."""
+
+
+class InferletError(ReproError):
+    """Raised when an inferlet misbehaves or is terminated by the system."""
+
+
+class InferletTerminated(InferletError):
+    """Raised inside an inferlet that was forcibly terminated (e.g. FCFS
+    resource reclamation or an explicit abort)."""
+
+
+class TraitNotSupportedError(ReproError):
+    """Raised when an inferlet uses an API trait the model does not expose."""
+
+
+class SchedulingError(ReproError):
+    """Raised for invalid batch-scheduler configurations or states."""
+
+
+class GrammarError(ReproError):
+    """Raised for malformed grammars or constraint violations."""
+
+
+class BaselineError(ReproError):
+    """Raised by the baseline (monolithic) serving systems."""
+
+
+class ClientError(ReproError):
+    """Raised by simulated clients when a request fails."""

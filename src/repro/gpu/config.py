@@ -1,0 +1,33 @@
+"""GPU/device configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class GpuConfig:
+    """Capacity and batching limits of the simulated accelerator.
+
+    The defaults approximate the paper's setup (NVIDIA L4, 24 GB): the KV
+    pool is sized at startup from GPU memory; the batch size limit mirrors
+    the "maximum supported size" the scheduler truncates batches to.
+    """
+
+    num_kv_pages: int = 4096
+    num_embed_slots: int = 16384
+    max_batch_rows: int = 256
+    max_batch_tokens: int = 8192
+    name: str = "sim-l4"
+
+    def __post_init__(self) -> None:
+        if self.num_kv_pages <= 0:
+            raise ReproError("num_kv_pages must be positive")
+        if self.num_embed_slots <= 0:
+            raise ReproError("num_embed_slots must be positive")
+        if self.max_batch_rows <= 0:
+            raise ReproError("max_batch_rows must be positive")
+        if self.max_batch_tokens <= 0:
+            raise ReproError("max_batch_tokens must be positive")

@@ -1,0 +1,112 @@
+"""Kernel cost model: how long each batched device operation takes.
+
+The model is intentionally simple and fully documented so that experiments
+are interpretable:
+
+* A **forward** batch costs a weight-bound floor (``decode_ms_base``, the
+  time of a single-sequence decode step — dominated by streaming the model
+  weights), plus a small per-extra-row cost, plus a per-token prefill cost
+  for rows carrying more than one input token, plus an attention term
+  growing with the gathered context length.
+* **Embed** and **sample** batches cost a fixed per-call launch plus a
+  per-token / per-row term.  In monolithic systems these are pipelined with
+  the forward pass (the paper's Table 3 "opportunity cost"); the baselines
+  therefore do not pay them separately, while Pie does.
+* **Copy/mask/alloc** operations have small per-page costs.
+
+The parameters live in :class:`repro.model.config.CostParams` and are
+calibrated per model size against the paper's Table 3/4 measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.model.config import ModelConfig
+from repro.sim.latency import milliseconds
+
+
+@dataclass(frozen=True)
+class ForwardRow:
+    """One row of a forward batch: a single (inferlet, queue) forward call."""
+
+    n_input_tokens: int
+    context_tokens: int = 0
+
+
+class KernelCostModel:
+    """Maps batched device operations to virtual-time costs (seconds)."""
+
+    def __init__(self, model_config: ModelConfig) -> None:
+        self.config = model_config
+        self.cost = model_config.cost
+
+    # -- forward -----------------------------------------------------------
+
+    def forward_batch_cost(self, rows: Sequence[ForwardRow]) -> float:
+        """Cost of one batched forward handler invocation."""
+        if not rows:
+            return 0.0
+        cost = self.cost
+        decode_rows = sum(1 for row in rows if row.n_input_tokens <= 1)
+        prefill_tokens = sum(
+            row.n_input_tokens for row in rows if row.n_input_tokens > 1
+        )
+        context_tokens = sum(row.context_tokens for row in rows)
+        total_ms = cost.decode_ms_base
+        if decode_rows > 1:
+            total_ms += cost.decode_ms_per_extra_row * (decode_rows - 1)
+        total_ms += cost.prefill_ms_per_token * prefill_tokens
+        total_ms += cost.attn_ms_per_kilotoken * (context_tokens / 1024.0)
+        return milliseconds(total_ms)
+
+    def fused_step_cost(self, rows: Sequence[ForwardRow]) -> float:
+        """Cost of a monolithic (embed+forward+sample fused) engine step.
+
+        Identical to :meth:`forward_batch_cost`: the fused loop pipelines
+        embedding and sampling behind the forward pass, so they add no
+        latency.  Exposed separately so baseline code reads naturally and so
+        ablations can alter one without the other.
+        """
+        return self.forward_batch_cost(rows)
+
+    # -- embed ---------------------------------------------------------------
+
+    def embed_batch_cost(self, total_tokens: int) -> float:
+        ms = self.cost.embed_ms_per_call + self.cost.embed_ms_per_token * total_tokens
+        return milliseconds(ms)
+
+    # -- sample --------------------------------------------------------------
+
+    def sample_batch_cost(self, n_rows: int) -> float:
+        ms = (
+            self.cost.sample_ms_per_call
+            + self.cost.sample_ms_per_row * max(0, n_rows - 1)
+            + self.cost.dist_return_ms * n_rows
+        )
+        return milliseconds(ms)
+
+    # -- cache manipulation ----------------------------------------------------
+
+    def copy_batch_cost(self, n_pages: int) -> float:
+        ms = self.cost.kernel_launch_ms + self.cost.copy_ms_per_page * n_pages
+        return milliseconds(ms)
+
+    def mask_batch_cost(self, n_pages: int) -> float:
+        ms = self.cost.kernel_launch_ms + self.cost.mask_ms_per_page * n_pages
+        return milliseconds(ms)
+
+    def alloc_batch_cost(self, n_items: int) -> float:
+        ms = self.cost.alloc_ms_per_call + 0.0005 * n_items
+        return milliseconds(ms)
+
+    # -- convenience for experiments -------------------------------------------
+
+    def single_decode_step_ms(self) -> float:
+        """The paper's single-sequence TPOT for a monolithic engine (ms)."""
+        return self.cost.decode_ms_base
+
+    def prefill_ms(self, n_tokens: int) -> float:
+        """Approximate prefill time for an ``n_tokens`` prompt (ms)."""
+        return self.forward_batch_cost([ForwardRow(n_input_tokens=n_tokens)]) * 1e3

@@ -1,0 +1,252 @@
+"""Physical device memory: paged KV cache and embedding slots.
+
+Following PagedAttention, the KV cache is carved into fixed-size pages of
+``kv_page_size`` token slots; each slot stores per-layer key/value vectors,
+the token's sequence position, a validity flag (has the slot been written?)
+and a visibility flag (has it been masked out with ``mask_kvpage``?).
+
+The pools are shared by Pie's control layer and by the baseline engines'
+block managers — the paper's "same FlashInfer backend" setup — and enforce
+capacity limits so resource-contention policies can be exercised.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import OutOfResourcesError, ResourceError
+from repro.gpu.config import GpuConfig
+from repro.model.config import ModelConfig
+
+
+class PhysicalKvPage:
+    """One physical KV page: ``page_size`` token slots across all layers."""
+
+    __slots__ = ("page_id", "page_size", "keys", "values", "positions", "valid", "visible")
+
+    def __init__(self, page_id: int, config: ModelConfig) -> None:
+        self.page_id = page_id
+        self.page_size = config.kv_page_size
+        shape = (config.kv_page_size, config.n_kv_heads, config.d_head)
+        self.keys = [np.zeros(shape, dtype=np.float32) for _ in range(config.n_layers)]
+        self.values = [np.zeros(shape, dtype=np.float32) for _ in range(config.n_layers)]
+        self.positions = np.zeros(config.kv_page_size, dtype=np.int64)
+        self.valid = np.zeros(config.kv_page_size, dtype=bool)
+        self.visible = np.ones(config.kv_page_size, dtype=bool)
+
+    def clear(self) -> None:
+        """Reset the page for reuse by a future allocation."""
+        self.positions[:] = 0
+        self.valid[:] = False
+        self.visible[:] = True
+        for layer in range(len(self.keys)):
+            self.keys[layer][:] = 0.0
+            self.values[layer][:] = 0.0
+
+    def write_token(
+        self,
+        slot: int,
+        position: int,
+        keys_per_layer: Sequence[np.ndarray],
+        values_per_layer: Sequence[np.ndarray],
+    ) -> None:
+        """Store K/V vectors for a token at ``slot``."""
+        if not 0 <= slot < self.page_size:
+            raise ResourceError(f"slot {slot} out of range for page of {self.page_size}")
+        for layer, (k, v) in enumerate(zip(keys_per_layer, values_per_layer)):
+            self.keys[layer][slot] = k
+            self.values[layer][slot] = v
+        self.positions[slot] = position
+        self.valid[slot] = True
+        self.visible[slot] = True
+
+    def copy_token_from(self, other: "PhysicalKvPage", src_slot: int, dst_slot: int) -> None:
+        """Token-level copy (used by ``copy_kvpage``)."""
+        if not other.valid[src_slot]:
+            raise ResourceError("cannot copy from an unwritten KV slot")
+        for layer in range(len(self.keys)):
+            self.keys[layer][dst_slot] = other.keys[layer][src_slot]
+            self.values[layer][dst_slot] = other.values[layer][src_slot]
+        self.positions[dst_slot] = other.positions[src_slot]
+        self.valid[dst_slot] = True
+        self.visible[dst_slot] = other.visible[src_slot]
+
+    def mask_tokens(self, mask: Sequence[bool]) -> None:
+        """Apply a token-level visibility mask (True = keep attending)."""
+        mask_arr = np.asarray(list(mask), dtype=bool)
+        if mask_arr.shape[0] != self.page_size:
+            raise ResourceError(
+                f"mask length {mask_arr.shape[0]} != page size {self.page_size}"
+            )
+        self.visible[:] = mask_arr
+
+    @property
+    def num_valid(self) -> int:
+        return int(self.valid.sum())
+
+
+class _Pool:
+    """Free-list allocator over a fixed number of integer ids."""
+
+    def __init__(self, capacity: int, kind: str) -> None:
+        self.capacity = capacity
+        self.kind = kind
+        self._free: List[int] = list(range(capacity - 1, -1, -1))
+        self._allocated: set = set()
+
+    def allocate(self, count: int) -> List[int]:
+        if count < 0:
+            raise ResourceError(f"cannot allocate {count} {self.kind}s")
+        if count > len(self._free):
+            raise OutOfResourcesError(
+                f"out of {self.kind}s: requested {count}, free {len(self._free)}"
+            )
+        ids = [self._free.pop() for _ in range(count)]
+        self._allocated.update(ids)
+        return ids
+
+    def free(self, ids: Iterable[int]) -> None:
+        for item in ids:
+            if item not in self._allocated:
+                raise ResourceError(f"double free or unknown {self.kind} id {item}")
+            self._allocated.remove(item)
+            self._free.append(item)
+
+    @property
+    def num_free(self) -> int:
+        return len(self._free)
+
+    @property
+    def num_allocated(self) -> int:
+        return len(self._allocated)
+
+    def is_allocated(self, item: int) -> bool:
+        return item in self._allocated
+
+
+class KvPageStore:
+    """Physical KV pages plus their allocator."""
+
+    def __init__(self, model_config: ModelConfig, num_pages: int) -> None:
+        self.model_config = model_config
+        self.page_size = model_config.kv_page_size
+        self._pool = _Pool(num_pages, "kv page")
+        self._pages: Dict[int, PhysicalKvPage] = {}
+
+    def allocate(self, count: int) -> List[int]:
+        ids = self._pool.allocate(count)
+        for pid in ids:
+            page = self._pages.get(pid)
+            if page is None:
+                self._pages[pid] = PhysicalKvPage(pid, self.model_config)
+            else:
+                page.clear()
+        return ids
+
+    def free(self, ids: Iterable[int]) -> None:
+        self._pool.free(ids)
+
+    def page(self, page_id: int) -> PhysicalKvPage:
+        if not self._pool.is_allocated(page_id):
+            raise ResourceError(f"KV page {page_id} is not allocated")
+        return self._pages[page_id]
+
+    @property
+    def num_free(self) -> int:
+        return self._pool.num_free
+
+    @property
+    def num_allocated(self) -> int:
+        return self._pool.num_allocated
+
+    @property
+    def capacity(self) -> int:
+        return self._pool.capacity
+
+
+class EmbedStore:
+    """Physical embedding slots (one d_model vector per slot)."""
+
+    def __init__(self, model_config: ModelConfig, num_slots: int) -> None:
+        self.model_config = model_config
+        self._pool = _Pool(num_slots, "embedding slot")
+        self._data = np.zeros((num_slots, model_config.d_model), dtype=np.float32)
+        self._positions = np.zeros(num_slots, dtype=np.int64)
+        self._written = np.zeros(num_slots, dtype=bool)
+
+    def allocate(self, count: int) -> List[int]:
+        ids = self._pool.allocate(count)
+        for slot in ids:
+            self._data[slot] = 0.0
+            self._positions[slot] = 0
+            self._written[slot] = False
+        return ids
+
+    def free(self, ids: Iterable[int]) -> None:
+        self._pool.free(ids)
+
+    def write(
+        self,
+        slot_ids: Sequence[int],
+        vectors: np.ndarray,
+        positions: Optional[Sequence[int]] = None,
+    ) -> None:
+        vectors = np.asarray(vectors, dtype=np.float32)
+        if vectors.shape[0] != len(slot_ids):
+            raise ResourceError("write: slot/vector count mismatch")
+        if positions is not None and len(positions) != len(slot_ids):
+            raise ResourceError("write: slot/position count mismatch")
+        for index, (slot, vector) in enumerate(zip(slot_ids, vectors)):
+            self._check(slot)
+            self._data[slot] = vector
+            if positions is not None:
+                self._positions[slot] = positions[index]
+            self._written[slot] = True
+
+    def positions(self, slot_ids: Sequence[int]) -> List[int]:
+        """Sequence positions associated with the given slots."""
+        for slot in slot_ids:
+            self._check(slot)
+        return [int(self._positions[slot]) for slot in slot_ids]
+
+    def read(self, slot_ids: Sequence[int]) -> np.ndarray:
+        for slot in slot_ids:
+            self._check(slot)
+        return self._data[list(slot_ids)].copy()
+
+    def is_written(self, slot: int) -> bool:
+        self._check(slot)
+        return bool(self._written[slot])
+
+    def _check(self, slot: int) -> None:
+        if not self._pool.is_allocated(slot):
+            raise ResourceError(f"embedding slot {slot} is not allocated")
+
+    @property
+    def num_free(self) -> int:
+        return self._pool.num_free
+
+    @property
+    def num_allocated(self) -> int:
+        return self._pool.num_allocated
+
+    @property
+    def capacity(self) -> int:
+        return self._pool.capacity
+
+
+class DeviceMemory:
+    """The device's physical memory: one KV page store + one embed store."""
+
+    def __init__(self, model_config: ModelConfig, gpu_config: Optional[GpuConfig] = None) -> None:
+        gpu_config = gpu_config or GpuConfig()
+        self.gpu_config = gpu_config
+        self.model_config = model_config
+        self.kv_pages = KvPageStore(model_config, gpu_config.num_kv_pages)
+        self.embeds = EmbedStore(model_config, gpu_config.num_embed_slots)
+
+    @property
+    def kv_tokens_capacity(self) -> int:
+        return self.kv_pages.capacity * self.model_config.kv_page_size

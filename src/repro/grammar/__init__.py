@@ -1,0 +1,20 @@
+"""Constrained-decoding grammars.
+
+The paper integrates a Rust constrained-decoding library (llguidance) into
+an inferlet to implement EBNF/JSON structured generation.  This package is
+the Python stand-in: incremental recognisers that, given the bytes emitted
+so far, report which next bytes keep the output inside the grammar.  With a
+byte-level tokenizer, "allowed next bytes" is exactly the token mask the
+inferlet applies at each sampling step.
+
+* :class:`JsonMachine` — a hand-written pushdown recogniser for a JSON
+  subset (objects, arrays, strings, integers, booleans, null), fast enough
+  to run per decode step.
+* :class:`EbnfGrammar` / :class:`EarleyMatcher` — a small EBNF parser and an
+  Earley-style incremental recogniser for user-supplied grammars.
+"""
+
+from repro.grammar.json_machine import JsonMachine
+from repro.grammar.ebnf import EbnfGrammar, EarleyMatcher
+
+__all__ = ["JsonMachine", "EbnfGrammar", "EarleyMatcher"]

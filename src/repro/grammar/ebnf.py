@@ -1,0 +1,228 @@
+"""A small EBNF grammar language plus an Earley-style incremental recogniser.
+
+Grammars are written as lines of the form::
+
+    rule     := alternative ("|" alternative)*
+    element  := "rule_name" | '"literal"' | "[a-z0-9]"   (character class)
+
+Example (a tiny arithmetic expression grammar)::
+
+    expr   := term | term "+" expr
+    term   := digit | digit term
+    digit  := [0-9]
+
+The :class:`EarleyMatcher` consumes input byte by byte and reports which
+bytes may come next — the same interface as :class:`JsonMachine` — so an
+inferlet can use either to constrain sampling.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import GrammarError
+
+
+@dataclass(frozen=True)
+class Terminal:
+    """A terminal symbol: a set of acceptable bytes (one byte consumed)."""
+
+    chars: frozenset
+
+    def matches(self, byte: int) -> bool:
+        return byte in self.chars
+
+
+@dataclass(frozen=True)
+class NonTerminal:
+    """A reference to another rule."""
+
+    name: str
+
+
+Symbol = object  # Terminal | NonTerminal
+
+
+class EbnfGrammar:
+    """A parsed EBNF grammar: rule name -> list of alternatives (symbol lists)."""
+
+    _TOKEN_RE = re.compile(
+        r"\s*(?:(?P<literal>\"(?:[^\"\\]|\\.)*\")|(?P<cls>\[[^\]]+\])|(?P<name>[A-Za-z_][A-Za-z_0-9]*)|(?P<bar>\|))"
+    )
+
+    def __init__(self, rules: Dict[str, List[List[Symbol]]], start: str) -> None:
+        if start not in rules:
+            raise GrammarError(f"start rule {start!r} is not defined")
+        self.rules = rules
+        self.start = start
+        self._validate()
+
+    @classmethod
+    def parse(cls, text: str, start: Optional[str] = None) -> "EbnfGrammar":
+        rules: Dict[str, List[List[Symbol]]] = {}
+        first_rule = None
+        for raw_line in text.splitlines():
+            line = raw_line.strip()
+            if not line or line.startswith("#"):
+                continue
+            if ":=" not in line:
+                raise GrammarError(f"malformed rule (missing ':='): {line!r}")
+            name, body = line.split(":=", 1)
+            name = name.strip()
+            if not name:
+                raise GrammarError(f"rule with empty name: {line!r}")
+            if first_rule is None:
+                first_rule = name
+            rules.setdefault(name, []).extend(cls._parse_alternatives(body))
+        if first_rule is None:
+            raise GrammarError("grammar has no rules")
+        return cls(rules, start or first_rule)
+
+    @classmethod
+    def _parse_alternatives(cls, body: str) -> List[List[Symbol]]:
+        alternatives: List[List[Symbol]] = [[]]
+        position = 0
+        while position < len(body):
+            match = cls._TOKEN_RE.match(body, position)
+            if match is None:
+                if body[position:].strip() == "":
+                    break
+                raise GrammarError(f"cannot parse grammar near: {body[position:]!r}")
+            position = match.end()
+            if match.group("bar"):
+                alternatives.append([])
+            elif match.group("literal"):
+                literal = match.group("literal")[1:-1].encode("utf-8").decode("unicode_escape")
+                for char in literal:
+                    alternatives[-1].append(Terminal(frozenset([ord(char)])))
+            elif match.group("cls"):
+                alternatives[-1].append(Terminal(frozenset(cls._expand_class(match.group("cls")))))
+            elif match.group("name"):
+                alternatives[-1].append(NonTerminal(match.group("name")))
+        return alternatives
+
+    @staticmethod
+    def _expand_class(cls_text: str) -> Set[int]:
+        inner = cls_text[1:-1]
+        chars: Set[int] = set()
+        index = 0
+        while index < len(inner):
+            if index + 2 < len(inner) and inner[index + 1] == "-":
+                start, end = ord(inner[index]), ord(inner[index + 2])
+                if end < start:
+                    raise GrammarError(f"invalid character range in {cls_text!r}")
+                chars.update(range(start, end + 1))
+                index += 3
+            else:
+                chars.add(ord(inner[index]))
+                index += 1
+        return chars
+
+    def _validate(self) -> None:
+        for name, alternatives in self.rules.items():
+            for alternative in alternatives:
+                for symbol in alternative:
+                    if isinstance(symbol, NonTerminal) and symbol.name not in self.rules:
+                        raise GrammarError(
+                            f"rule {name!r} references undefined rule {symbol.name!r}"
+                        )
+
+
+@dataclass(frozen=True)
+class _Item:
+    """An Earley item: (rule, alternative index, dot position, origin)."""
+
+    rule: str
+    alt: int
+    dot: int
+    origin: int
+
+
+class EarleyMatcher:
+    """Incremental Earley recogniser over bytes."""
+
+    def __init__(self, grammar: EbnfGrammar) -> None:
+        self.grammar = grammar
+        self._chart: List[Set[_Item]] = []
+        self._consumed = bytearray()
+        initial: Set[_Item] = set()
+        for alt_index in range(len(grammar.rules[grammar.start])):
+            initial.add(_Item(grammar.start, alt_index, 0, 0))
+        self._chart.append(self._closure(initial, 0))
+
+    # -- public interface -----------------------------------------------------
+
+    @property
+    def text(self) -> str:
+        return self._consumed.decode("utf-8", errors="replace")
+
+    def allowed_next_bytes(self) -> Set[int]:
+        allowed: Set[int] = set()
+        for item in self._chart[-1]:
+            symbol = self._next_symbol(item)
+            if isinstance(symbol, Terminal):
+                allowed |= set(symbol.chars)
+        return allowed
+
+    def is_complete(self) -> bool:
+        """True if the consumed input is a complete sentence of the grammar."""
+        return any(
+            item.rule == self.grammar.start and item.origin == 0 and self._next_symbol(item) is None
+            for item in self._chart[-1]
+        )
+
+    def advance(self, byte: int) -> None:
+        if isinstance(byte, (bytes, bytearray)):
+            byte = byte[0]
+        scanned: Set[_Item] = set()
+        for item in self._chart[-1]:
+            symbol = self._next_symbol(item)
+            if isinstance(symbol, Terminal) and symbol.matches(byte):
+                scanned.add(_Item(item.rule, item.alt, item.dot + 1, item.origin))
+        if not scanned:
+            raise GrammarError(
+                f"byte {chr(byte)!r} is not allowed after {self.text!r}"
+            )
+        self._consumed.append(byte)
+        self._chart.append(self._closure(scanned, len(self._chart)))
+
+    def advance_text(self, text: str) -> None:
+        for byte in text.encode("utf-8"):
+            self.advance(byte)
+
+    # -- Earley internals ---------------------------------------------------------
+
+    def _next_symbol(self, item: _Item) -> Optional[Symbol]:
+        alternative = self.grammar.rules[item.rule][item.alt]
+        if item.dot < len(alternative):
+            return alternative[item.dot]
+        return None
+
+    def _closure(self, items: Set[_Item], position: int) -> Set[_Item]:
+        chart = set(items)
+        changed = True
+        while changed:
+            changed = False
+            for item in list(chart):
+                symbol = self._next_symbol(item)
+                if isinstance(symbol, NonTerminal):
+                    # Predict.
+                    for alt_index in range(len(self.grammar.rules[symbol.name])):
+                        predicted = _Item(symbol.name, alt_index, 0, position)
+                        if predicted not in chart:
+                            chart.add(predicted)
+                            changed = True
+                elif symbol is None:
+                    # Complete: advance items waiting on this rule.
+                    origin_chart = self._chart[item.origin] if item.origin < len(self._chart) else chart
+                    waiting = origin_chart if item.origin < position else chart
+                    for parent in list(waiting):
+                        parent_symbol = self._next_symbol(parent)
+                        if isinstance(parent_symbol, NonTerminal) and parent_symbol.name == item.rule:
+                            advanced = _Item(parent.rule, parent.alt, parent.dot + 1, parent.origin)
+                            if advanced not in chart:
+                                chart.add(advanced)
+                                changed = True
+        return chart

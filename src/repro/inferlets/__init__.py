@@ -1,0 +1,81 @@
+"""The inferlet library: every program from the paper's Table 2.
+
+Each module exposes factory functions returning
+:class:`~repro.core.inferlet.InferletProgram` objects.  Factories take the
+workload parameters (prompt, number of branches, number of external
+interactions, ...) so the benchmark harness can instantiate the same
+program at different scales.
+
+Modules:
+
+* ``text_completion``  — the baseline autoregressive loop (38 LoC in the paper).
+* ``deliberate``       — ToT, RoT, GoT, SkoT prompting strategies (R1+R3).
+* ``caching``          — prefix caching and modular (prompt-cache) caching (R1).
+* ``structured``       — EBNF/JSON constrained decoding, output validation,
+  watermarking (R2).
+* ``decoding``         — beam search, n-gram speculative decoding, Jacobi
+  parallel decoding (R2).
+* ``attention``        — attention sink, windowed attention, hierarchical
+  attention (R1).
+* ``agents``           — ReACT, CodeACT, Swarm, and the Figure-7
+  function-calling agent with stacked optimizations (R1+R2+R3).
+* ``registry``         — the Table-2 inventory used by the LoC experiment.
+"""
+
+from repro.inferlets.text_completion import make_text_completion
+from repro.inferlets.deliberate import (
+    make_tree_of_thought,
+    make_recursion_of_thought,
+    make_graph_of_thought,
+    make_skeleton_of_thought,
+)
+from repro.inferlets.caching import make_prefix_caching, make_modular_caching
+from repro.inferlets.structured import (
+    make_json_constrained,
+    make_output_validation,
+    make_watermarking,
+)
+from repro.inferlets.decoding import (
+    make_beam_search,
+    make_speculative_decoding,
+    make_jacobi_decoding,
+)
+from repro.inferlets.attention import (
+    make_attention_sink,
+    make_windowed_attention,
+    make_hierarchical_attention,
+)
+from repro.inferlets.agents import (
+    make_react_agent,
+    make_codeact_agent,
+    make_swarm_agent,
+    make_swarm_responder,
+    make_function_call_agent,
+)
+from repro.inferlets.registry import TABLE2_INVENTORY, table2_rows
+
+__all__ = [
+    "make_text_completion",
+    "make_tree_of_thought",
+    "make_recursion_of_thought",
+    "make_graph_of_thought",
+    "make_skeleton_of_thought",
+    "make_prefix_caching",
+    "make_modular_caching",
+    "make_json_constrained",
+    "make_output_validation",
+    "make_watermarking",
+    "make_beam_search",
+    "make_speculative_decoding",
+    "make_jacobi_decoding",
+    "make_attention_sink",
+    "make_windowed_attention",
+    "make_hierarchical_attention",
+    "make_react_agent",
+    "make_codeact_agent",
+    "make_swarm_agent",
+    "make_swarm_responder",
+    "make_function_call_agent",
+    "TABLE2_INVENTORY",
+    "table2_rows",
+]

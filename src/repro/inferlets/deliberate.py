@@ -1,0 +1,182 @@
+"""Deliberate prompting strategies: ToT, RoT, GoT, SkoT (§7.2).
+
+All four rely on application-controlled KV reuse (R1): branches fork the
+parent context's cached prefix instead of re-prefilling it, and contexts
+whose contribution has been consumed are masked or freed.  Tree-of-Thought
+additionally interleaves an external value-evaluation call (R3).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.inferlet import InferletProgram
+from repro.support import Context, SamplingParams
+from repro.support.forkjoin import fork_join, run_parallel
+
+
+def make_tree_of_thought(
+    task_prompt: str,
+    n_branches: int = 3,
+    thought_tokens: int = 12,
+    answer_tokens: int = 12,
+    value_url: Optional[str] = "http://tools/search",
+    name: str = "tree_of_thought",
+) -> InferletProgram:
+    """Tree-of-Thought: branch thoughts, score them, continue from the best."""
+
+    async def main(ctx):
+        root = Context(ctx)
+        await root.fill(task_prompt)
+
+        async def branch(child: Context, index: int) -> dict:
+            thought = await child.generate_until(max_tokens=thought_tokens)
+            # Value evaluation: symbolic check via an external service (R3),
+            # interleaved with other branches' compute.
+            score = len(set(thought))
+            if value_url is not None:
+                verdict = await ctx.http_get(value_url)
+                score += len(str(verdict)) % 7
+            return {"index": index, "thought": thought, "score": score}
+
+        evaluations = await fork_join(ctx, root, branch, n_branches)
+        best = max(evaluations, key=lambda e: e["score"])
+        await root.fill(best["thought"] + " Therefore the answer is")
+        answer = await root.generate_until(max_tokens=answer_tokens)
+        ctx.send(answer)
+        root.free()
+        return {"answer": answer, "branches": evaluations}
+
+    return InferletProgram(
+        name=name,
+        main=main,
+        description="Tree-of-Thought deliberate reasoning",
+        source_loc=198,
+        binary_size=148 * 1024,
+        requirements=("R1", "R3"),
+    )
+
+
+def make_recursion_of_thought(
+    task_prompt: str,
+    max_depth: int = 3,
+    tokens_per_step: int = 8,
+    name: str = "recursion_of_thought",
+) -> InferletProgram:
+    """Recursion-of-Thought: divide-and-conquer with per-branch KV reuse.
+
+    The recursion tree is dynamic (depends on generated text), which is why
+    implicit radix-style caching struggles with it while explicit forking
+    does not.
+    """
+
+    async def main(ctx):
+        root = Context(ctx)
+        await root.fill(task_prompt)
+
+        async def solve(context: Context, depth: int) -> str:
+            partial = await context.generate_until(max_tokens=tokens_per_step)
+            # Recurse while depth remains; the branching factor depends on the
+            # generated text so the call tree is data dependent.
+            if depth >= max_depth:
+                return partial
+            n_children = 2 if (sum(context.generated_ids) % 2 == 0) else 1
+            children = [context.fork() for _ in range(n_children)]
+            await run_parallel(ctx, [child.refresh_hidden() for child in children])
+            sub_results = await run_parallel(
+                ctx, [solve(child, depth + 1) for child in children]
+            )
+            for child in children:
+                child.free()
+            return partial + "|" + "+".join(sub_results)
+
+        result = await solve(root, depth=1)
+        ctx.send(result)
+        root.free()
+        return result
+
+    return InferletProgram(
+        name=name,
+        main=main,
+        description="Recursion-of-Thought divide and conquer",
+        source_loc=106,
+        binary_size=152 * 1024,
+        requirements=("R1", "R3"),
+    )
+
+
+def make_graph_of_thought(
+    document_sections,
+    tokens_per_summary: int = 10,
+    final_tokens: int = 16,
+    name: str = "graph_of_thought",
+) -> InferletProgram:
+    """Graph-of-Thought map-reduce summarisation.
+
+    Each section is summarised in its own context (map); the aggregation
+    context fills only the per-section summaries (reduce), and each map
+    context is freed as soon as its summary is extracted — the explicit
+    retain/discard decisions R1 asks for.
+    """
+    sections = list(document_sections)
+
+    async def main(ctx):
+        async def summarize(section: str, index: int) -> str:
+            context = Context(ctx)
+            await context.fill(f"Summarize: {section}\nSummary:")
+            summary = await context.generate_until(max_tokens=tokens_per_summary)
+            context.free()
+            return summary
+
+        summaries = await run_parallel(
+            ctx, [summarize(section, index) for index, section in enumerate(sections)]
+        )
+        reducer = Context(ctx)
+        await reducer.fill("Combine the summaries:\n" + "\n".join(summaries) + "\nOverall:")
+        overall = await reducer.generate_until(max_tokens=final_tokens)
+        ctx.send(overall)
+        reducer.free()
+        return {"section_summaries": summaries, "overall": overall}
+
+    return InferletProgram(
+        name=name,
+        main=main,
+        description="Graph-of-Thought map-reduce summarisation",
+        source_loc=87,
+        binary_size=171 * 1024,
+        requirements=("R1", "R3"),
+    )
+
+
+def make_skeleton_of_thought(
+    task_prompt: str,
+    n_points: int = 3,
+    skeleton_tokens: int = 10,
+    expansion_tokens: int = 12,
+    name: str = "skeleton_of_thought",
+) -> InferletProgram:
+    """Skeleton-of-Thought: outline first, expand every point in parallel."""
+
+    async def main(ctx):
+        outline = Context(ctx)
+        await outline.fill(task_prompt + "\nOutline:")
+        skeleton = await outline.generate_until(max_tokens=skeleton_tokens)
+
+        async def expand(child: Context, index: int) -> str:
+            await child.fill(f"\nExpand point {index + 1}:")
+            return await child.generate_until(max_tokens=expansion_tokens)
+
+        expansions = await fork_join(ctx, outline, expand, n_points)
+        answer = skeleton + " " + " ".join(expansions)
+        ctx.send(answer)
+        outline.free()
+        return {"skeleton": skeleton, "expansions": expansions}
+
+    return InferletProgram(
+        name=name,
+        main=main,
+        description="Skeleton-of-Thought parallel expansion",
+        source_loc=82,
+        binary_size=173 * 1024,
+        requirements=("R1", "R3"),
+    )

@@ -1,0 +1,51 @@
+"""Text completion: the plain autoregressive loop as an inferlet.
+
+The paper uses this both as the baseline for standard-task comparisons
+(Figure 8, Tables 3-5) and as the probe for launch latency (Figure 9, where
+it sends an acknowledgement before generating).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.inferlet import InferletProgram
+from repro.support import Context, SamplingParams
+
+
+def make_text_completion(
+    prompt: str = "Hello, ",
+    max_tokens: int = 16,
+    sampling: Optional[SamplingParams] = None,
+    acknowledge_launch: bool = False,
+    name: str = "text_completion",
+) -> InferletProgram:
+    """Build the text-completion inferlet.
+
+    ``acknowledge_launch`` sends a message to the client before starting
+    generation, the instrumentation the paper adds for the Figure-9 launch
+    latency measurement.
+    """
+
+    async def main(ctx):
+        if acknowledge_launch:
+            ctx.send("ack")
+        actual_prompt = prompt
+        args = ctx.get_arg()
+        if args:
+            actual_prompt = args[0]
+        context = Context(ctx, sampling=sampling or SamplingParams())
+        await context.fill(actual_prompt)
+        text = await context.generate_until(max_tokens=max_tokens)
+        ctx.send(text)
+        context.free()
+        return text
+
+    return InferletProgram(
+        name=name,
+        main=main,
+        description="plain autoregressive text completion",
+        source_loc=38,
+        binary_size=129 * 1024,
+        requirements=(),
+    )

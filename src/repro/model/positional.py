@@ -1,0 +1,30 @@
+"""Sinusoidal positional encoding.
+
+Positions are supplied explicitly by inferlets (the ``pos`` argument of
+``embed_txt``), matching the paper's design where the ``forward`` API
+"operates based on explicit sequence positions associated with the
+resources".  Injecting position at embedding time keeps K/V values a pure
+function of (token, position, visible prefix), which is what makes paged KV
+reuse across forward calls exact.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def sinusoidal_positions(positions: Sequence[int], d_model: int) -> np.ndarray:
+    """Return the classic sinusoidal encoding for the given positions.
+
+    Shape: ``(len(positions), d_model)``, dtype float32.
+    """
+    pos = np.asarray(list(positions), dtype=np.float64).reshape(-1, 1)
+    dims = np.arange(d_model, dtype=np.float64).reshape(1, -1)
+    angle_rates = 1.0 / np.power(10000.0, (2 * (dims // 2)) / d_model)
+    angles = pos * angle_rates
+    encoding = np.empty((pos.shape[0], d_model), dtype=np.float64)
+    encoding[:, 0::2] = np.sin(angles[:, 0::2])
+    encoding[:, 1::2] = np.cos(angles[:, 1::2])
+    return encoding.astype(np.float32)

@@ -1,0 +1,118 @@
+"""Awaitable single-assignment futures for the simulation kernel."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, List, Optional
+
+from repro.errors import CancelledError, SimulationError
+
+_PENDING = "pending"
+_RESOLVED = "resolved"
+_FAILED = "failed"
+_CANCELLED = "cancelled"
+
+
+class SimFuture:
+    """A single-assignment result cell usable with ``await``.
+
+    The future is bound to a :class:`~repro.sim.simulator.Simulator` only so
+    that completion callbacks can be deferred to the event loop; resolving a
+    future never runs user code synchronously.
+    """
+
+    __slots__ = ("_sim", "_state", "_value", "_exception", "_callbacks", "name")
+
+    def __init__(self, sim: "Any" = None, name: str = "") -> None:
+        self._sim = sim
+        self._state = _PENDING
+        self._value: Any = None
+        self._exception: Optional[BaseException] = None
+        self._callbacks: List[Callable[["SimFuture"], None]] = []
+        self.name = name
+
+    # -- state inspection -------------------------------------------------
+
+    def done(self) -> bool:
+        """Return True once the future has a result, exception or is cancelled."""
+        return self._state != _PENDING
+
+    def cancelled(self) -> bool:
+        return self._state == _CANCELLED
+
+    def result(self) -> Any:
+        """Return the result, raising if the future failed or is pending."""
+        if self._state == _RESOLVED:
+            return self._value
+        if self._state == _FAILED:
+            assert self._exception is not None
+            raise self._exception
+        if self._state == _CANCELLED:
+            raise CancelledError(f"future {self.name!r} was cancelled")
+        raise SimulationError(f"future {self.name!r} is not done yet")
+
+    def exception(self) -> Optional[BaseException]:
+        if self._state == _PENDING:
+            raise SimulationError(f"future {self.name!r} is not done yet")
+        return self._exception
+
+    # -- completion -------------------------------------------------------
+
+    def set_result(self, value: Any = None) -> None:
+        if self.done():
+            raise SimulationError(f"future {self.name!r} already completed")
+        self._state = _RESOLVED
+        self._value = value
+        self._schedule_callbacks()
+
+    def set_exception(self, exc: BaseException) -> None:
+        if self.done():
+            raise SimulationError(f"future {self.name!r} already completed")
+        if isinstance(exc, type):
+            exc = exc()
+        self._state = _FAILED
+        self._exception = exc
+        self._schedule_callbacks()
+
+    def cancel(self) -> bool:
+        if self.done():
+            return False
+        self._state = _CANCELLED
+        self._exception = CancelledError(f"future {self.name!r} was cancelled")
+        self._schedule_callbacks()
+        return True
+
+    # -- callbacks --------------------------------------------------------
+
+    def add_done_callback(self, callback: Callable[["SimFuture"], None]) -> None:
+        """Register ``callback(self)`` to run when the future completes.
+
+        If the future is already done, the callback is scheduled to run on
+        the next event-loop step (or immediately if no simulator is bound).
+        """
+        if self.done():
+            self._invoke(callback)
+        else:
+            self._callbacks.append(callback)
+
+    def _schedule_callbacks(self) -> None:
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            self._invoke(callback)
+
+    def _invoke(self, callback: Callable[["SimFuture"], None]) -> None:
+        if self._sim is not None:
+            self._sim.call_soon(callback, self)
+        else:
+            callback(self)
+
+    # -- awaitable protocol -----------------------------------------------
+
+    def __await__(self) -> Generator["SimFuture", None, Any]:
+        if not self.done():
+            yield self
+        return self.result()
+
+    __iter__ = __await__
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SimFuture {self.name!r} state={self._state}>"

@@ -1,0 +1,75 @@
+"""Simulated network links between clients, servers, and external tools.
+
+The paper measures end-to-end latency from a remote client on a campus
+network; for agentic workloads, the critical difference between Pie and the
+baselines is whether each external interaction pays a client<->server round
+trip.  :class:`NetworkLink` models a bidirectional link with a one-way
+latency model, and keeps simple counters so that experiments can report how
+many round trips each architecture paid.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Awaitable, Callable, Optional
+
+from repro.sim.latency import ConstantLatency, LatencyModel
+from repro.sim.simulator import Simulator
+from repro.sim.futures import SimFuture
+
+
+class NetworkLink:
+    """A point-to-point link with symmetric one-way latency.
+
+    ``request`` models a full round trip: the payload travels to the remote
+    handler, the handler (an async callable) runs, and the response travels
+    back.  Counters record traffic for experiment reporting.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        latency: Optional[LatencyModel] = None,
+        name: str = "link",
+    ) -> None:
+        self.sim = sim
+        self.latency = latency if latency is not None else ConstantLatency(0.0)
+        self.name = name
+        self.messages_sent = 0
+        self.round_trips = 0
+        self.bytes_sent = 0
+
+    def one_way_delay(self) -> float:
+        return self.latency.sample(self.sim.rng)
+
+    async def send(self, payload: Any = None, size_bytes: int = 0) -> Any:
+        """Deliver a payload after one one-way delay; returns the payload."""
+        self.messages_sent += 1
+        self.bytes_sent += size_bytes
+        await self.sim.sleep(self.one_way_delay())
+        return payload
+
+    async def request(
+        self,
+        handler: Callable[[Any], Awaitable[Any]],
+        payload: Any = None,
+        size_bytes: int = 0,
+    ) -> Any:
+        """Round trip: send payload, run the remote handler, return its reply."""
+        self.round_trips += 1
+        await self.send(payload, size_bytes=size_bytes)
+        result = await handler(payload)
+        await self.send(result)
+        return result
+
+    def request_future(
+        self,
+        handler: Callable[[Any], Awaitable[Any]],
+        payload: Any = None,
+    ) -> SimFuture:
+        """Fire a round-trip request as a task and return its future."""
+        return self.sim.create_task(self.request(handler, payload), name=f"{self.name}.request")
+
+    def reset_counters(self) -> None:
+        self.messages_sent = 0
+        self.round_trips = 0
+        self.bytes_sent = 0

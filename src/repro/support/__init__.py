@@ -1,0 +1,33 @@
+"""The inferlet support library (§6.3).
+
+The raw Pie API is deliberately low level ("OpenGL-like"); this library
+provides the higher-level abstractions most inferlets actually use:
+
+* :class:`Context` — automatic KV-page and embedding management around an
+  autoregressive fill/generate loop, with fork support for tree-structured
+  generation.
+* :mod:`repro.support.sampling` — sampling strategies (greedy, top-k/top-p,
+  temperature) operating on the distributions returned by ``get_next_dist``.
+* :mod:`repro.support.stopping` — stopping criteria (max tokens, EOS, stop
+  strings).
+* :mod:`repro.support.forkjoin` — SGLang-style fork/join parallelism helpers.
+
+The paper's three-line text-completion example maps directly onto
+``Context.fill`` + ``Context.generate_until``.
+"""
+
+from repro.support.context import Context
+from repro.support.sampling import SamplingParams, choose_token
+from repro.support.stopping import StopCondition, MaxTokens, StopOnEos, StopOnString
+from repro.support.forkjoin import fork_join
+
+__all__ = [
+    "Context",
+    "SamplingParams",
+    "choose_token",
+    "StopCondition",
+    "MaxTokens",
+    "StopOnEos",
+    "StopOnString",
+    "fork_join",
+]

@@ -1,0 +1,75 @@
+"""Application-side sampling strategies.
+
+Pie returns the next-token distribution to the inferlet; these helpers turn
+a :class:`~repro.model.sampling.TokenDistribution` into a concrete token
+under the usual knobs (greedy, temperature, top-k, top-p) plus a seedable
+RNG so that runs are reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.model.sampling import TokenDistribution, sample_from_dist
+
+
+@dataclass(frozen=True)
+class SamplingParams:
+    """User-facing sampling configuration."""
+
+    temperature: float = 0.0  # 0.0 means greedy
+    top_k: Optional[int] = None
+    top_p: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.temperature < 0:
+            raise ReproError("temperature must be non-negative")
+        if self.top_k is not None and self.top_k <= 0:
+            raise ReproError("top_k must be positive")
+        if self.top_p is not None and not 0 < self.top_p <= 1:
+            raise ReproError("top_p must be in (0, 1]")
+
+    @property
+    def greedy(self) -> bool:
+        return self.temperature == 0.0
+
+
+def choose_token(
+    dist: TokenDistribution,
+    params: SamplingParams,
+    rng: np.random.Generator,
+    allowed: Optional[Sequence[int]] = None,
+) -> int:
+    """Pick the next token from a distribution under the sampling params.
+
+    ``allowed`` restricts the choice to a token subset (used by
+    grammar-constrained decoding); if the restriction empties the
+    distribution a :class:`ReproError` is raised so callers can surface a
+    constraint violation instead of silently generating junk.
+    """
+    if allowed is not None:
+        dist = dist.restricted(allowed)
+        if len(dist) == 0:
+            raise ReproError("sampling constraint excluded every candidate token")
+    if params.greedy:
+        return dist.max_index()
+    if params.top_k is not None and params.top_k < len(dist):
+        pairs = dist.top(params.top_k)
+        total = sum(p for _, p in pairs)
+        dist = TokenDistribution(
+            token_ids=tuple(t for t, _ in pairs),
+            probs=tuple(p / total for _, p in pairs),
+            truncated=True,
+        )
+    if params.temperature != 1.0:
+        # Re-shape the (already normalised) probabilities by temperature.
+        probs = np.asarray(dist.probs, dtype=np.float64) ** (1.0 / params.temperature)
+        probs = probs / probs.sum()
+        dist = TokenDistribution(
+            token_ids=dist.token_ids, probs=tuple(float(p) for p in probs), truncated=dist.truncated
+        )
+    return sample_from_dist(dist, rng, top_p=params.top_p)

@@ -1,0 +1,77 @@
+"""Stopping criteria for generation loops."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+class StopCondition:
+    """Base class: decides when a generation loop should stop."""
+
+    def should_stop(self, generated_tokens: Sequence[int], generated_text: str) -> bool:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Reset internal state before a new generation."""
+
+
+class MaxTokens(StopCondition):
+    """Stop after ``limit`` generated tokens."""
+
+    def __init__(self, limit: int) -> None:
+        self.limit = limit
+
+    def should_stop(self, generated_tokens: Sequence[int], generated_text: str) -> bool:
+        return len(generated_tokens) >= self.limit
+
+
+class StopOnEos(StopCondition):
+    """Stop when the end-of-sequence token is generated."""
+
+    def __init__(self, eos_token: int) -> None:
+        self.eos_token = eos_token
+
+    def should_stop(self, generated_tokens: Sequence[int], generated_text: str) -> bool:
+        return bool(generated_tokens) and generated_tokens[-1] == self.eos_token
+
+
+class StopOnString(StopCondition):
+    """Stop when the generated text ends with one of the stop strings."""
+
+    def __init__(self, stops: Sequence[str]) -> None:
+        self.stops = list(stops)
+
+    def should_stop(self, generated_tokens: Sequence[int], generated_text: str) -> bool:
+        return any(stop and generated_text.endswith(stop) for stop in self.stops)
+
+
+class AnyOf(StopCondition):
+    """Stop when any of the wrapped conditions triggers."""
+
+    def __init__(self, conditions: Sequence[StopCondition]) -> None:
+        self.conditions = list(conditions)
+
+    def should_stop(self, generated_tokens: Sequence[int], generated_text: str) -> bool:
+        return any(c.should_stop(generated_tokens, generated_text) for c in self.conditions)
+
+    def reset(self) -> None:
+        for condition in self.conditions:
+            condition.reset()
+
+
+def build_stop_conditions(
+    max_tokens: Optional[int] = None,
+    eos_token: Optional[int] = None,
+    stop_strings: Optional[Sequence[str]] = None,
+) -> StopCondition:
+    """Convenience constructor combining the common criteria."""
+    conditions: List[StopCondition] = []
+    if max_tokens is not None:
+        conditions.append(MaxTokens(max_tokens))
+    if eos_token is not None:
+        conditions.append(StopOnEos(eos_token))
+    if stop_strings:
+        conditions.append(StopOnString(stop_strings))
+    if not conditions:
+        conditions.append(MaxTokens(64))
+    return AnyOf(conditions)

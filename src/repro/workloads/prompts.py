@@ -1,0 +1,41 @@
+"""Deterministic prompt generation for benchmark workloads."""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+_WORDS = (
+    "system service request cache page token model agent tool search plan act "
+    "observe reason answer verify branch merge schedule batch stream memory "
+    "context prompt decode sample forward embed latency throughput"
+).split()
+
+
+class PromptGenerator:
+    """Seeded generator of natural-looking prompts with controllable length."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = np.random.default_rng(seed)
+
+    def words(self, count: int) -> str:
+        picks = self._rng.choice(len(_WORDS), size=count)
+        return " ".join(_WORDS[i] for i in picks)
+
+    def prompt(self, approx_tokens: int) -> str:
+        """A prompt of roughly ``approx_tokens`` byte-level tokens."""
+        text = ""
+        while len(text.encode("utf-8")) < approx_tokens:
+            text += self.words(4) + " "
+        return text[:approx_tokens]
+
+    def batch(self, count: int, approx_tokens: int) -> List[str]:
+        return [f"[req {i}] " + self.prompt(approx_tokens) for i in range(count)]
+
+    def system_prompt(self, n_tools: int = 4, doc_tokens: int = 48) -> str:
+        """An agent system prompt listing tool documentation blocks."""
+        sections = ["You are a helpful agent. Available tools:"]
+        for index in range(n_tools):
+            sections.append(f"tool_{index}: {self.prompt(doc_tokens)}")
+        return "\n".join(sections) + "\n"

@@ -1,0 +1,297 @@
+"""Tests for the baseline monolithic serving systems."""
+
+import pytest
+
+from repro.baselines import (
+    BaselineClient,
+    GenerationRequest,
+    LmqlLikeServer,
+    MonolithicEngine,
+    SamplingConfig,
+    SglangLikeServer,
+    StreamingLlmServer,
+    VllmLikeServer,
+)
+from repro.baselines.block_manager import BlockManager
+from repro.baselines.radix_tree import RadixTree
+from repro.core.messaging import ExternalServices
+from repro.errors import BaselineError
+from repro.gpu import GpuConfig
+from repro.gpu.memory import KvPageStore
+from repro.model import get_model_config
+from repro.sim import Simulator
+from repro.sim.latency import ConstantLatency
+
+from tests.test_core_end_to_end import reference_greedy_completion
+
+
+@pytest.fixture()
+def sim():
+    return Simulator(seed=5)
+
+
+class TestBlockManager:
+    def make(self, enable=True, pages=64):
+        store = KvPageStore(get_model_config("llama-sim-1b"), num_pages=pages)
+        return BlockManager(store, enable_prefix_caching=enable)
+
+    def test_no_cache_when_disabled(self):
+        manager = self.make(enable=False)
+        pages, cached = manager.match_prefix(list(range(64)))
+        assert pages == [] and cached == 0
+
+    def test_prefix_reuse_roundtrip(self):
+        manager = self.make()
+        tokens = list(range(48))  # 3 full pages of 16
+        pages = manager.allocate_pages(3)
+        manager.register_prefix(tokens, pages)
+        matched, cached = manager.match_prefix(tokens + [99, 100])
+        assert matched == pages
+        assert cached == 48
+
+    def test_partial_prefix_match(self):
+        manager = self.make()
+        tokens = list(range(32))
+        pages = manager.allocate_pages(2)
+        manager.register_prefix(tokens, pages)
+        different_tail = list(range(16)) + list(range(100, 116))
+        matched, cached = manager.match_prefix(different_tail)
+        assert cached == 16
+        assert matched == pages[:1]
+
+    def test_release_keeps_cached_pages(self):
+        manager = self.make()
+        tokens = list(range(16))
+        pages = manager.allocate_pages(2)
+        manager.register_prefix(tokens, pages[:1])
+        manager.release_pages(pages, cached_page_ids=[])
+        # Cached page stays allocated, the other page is freed.
+        assert manager.store.num_allocated == 1
+
+    def test_eviction_under_pressure(self):
+        manager = self.make(pages=4)
+        tokens = list(range(32))
+        pages = manager.allocate_pages(2)
+        manager.register_prefix(tokens, pages)
+        manager.release_pages(pages, cached_page_ids=[])
+        # Cache holds 2 unreferenced pages; a big allocation evicts them.
+        new_pages = manager.allocate_pages(4)
+        assert len(new_pages) == 4
+
+    def test_pages_needed(self):
+        manager = self.make()
+        assert manager.pages_needed_for(0) == 0
+        assert manager.pages_needed_for(1) == 1
+        assert manager.pages_needed_for(16) == 1
+        assert manager.pages_needed_for(17) == 2
+
+
+class TestRadixTree:
+    def test_insert_and_match(self):
+        tree = RadixTree(page_size=4)
+        tokens = [1, 2, 3, 4, 5, 6, 7, 8]
+        tree.insert(tokens, [10, 11])
+        pages, matched = tree.match_prefix(tokens + [9])
+        assert pages == [10, 11]
+        assert matched == 8
+
+    def test_partial_match_page_aligned(self):
+        tree = RadixTree(page_size=4)
+        tree.insert([1, 2, 3, 4, 5, 6, 7, 8], [10, 11])
+        pages, matched = tree.match_prefix([1, 2, 3, 4, 9, 9, 9, 9])
+        assert pages == [10]
+        assert matched == 4
+
+    def test_branching_prefixes_share_ancestor(self):
+        tree = RadixTree(page_size=2)
+        tree.insert([1, 2, 3, 4], [20, 21])
+        adopted = tree.insert([1, 2, 5, 6], [20, 22])
+        assert adopted == 1  # shared first chunk reused
+        assert tree.cached_pages() == 3
+
+    def test_eviction_prefers_lru_leaf(self):
+        tree = RadixTree(page_size=2)
+        tree.insert([1, 2, 3, 4], [30, 31])
+        tree.insert([1, 2, 5, 6], [30, 32])
+        tree.match_prefix([1, 2, 5, 6])  # refresh second branch
+        tree.release_path([1, 2, 5, 6], 4)
+        evicted = tree.evict_lru_leaf()
+        assert evicted == [31]
+
+    def test_refcounted_path_not_evicted(self):
+        tree = RadixTree(page_size=2)
+        tree.insert([1, 2], [40])
+        tree.match_prefix([1, 2])  # holds a reference
+        assert tree.evict_lru_leaf() is None
+        tree.release_path([1, 2], 2)
+        assert tree.evict_lru_leaf() == [40]
+
+
+class TestMonolithicEngine:
+    def test_greedy_matches_reference(self, sim):
+        engine = MonolithicEngine(sim)
+        output = sim.run_until_complete(
+            engine.generate("Hi", SamplingConfig(max_tokens=6))
+        )
+        assert output.text == reference_greedy_completion("Hi", 6)
+        assert output.finish_reason == "length"
+
+    def test_latency_matches_tpot(self, sim):
+        engine = MonolithicEngine(sim)
+        config = get_model_config("llama-sim-1b")
+        output = sim.run_until_complete(
+            engine.generate("Hello", SamplingConfig(max_tokens=10))
+        )
+        # 1 prefill + 9 decode steps, each >= decode_ms_base.
+        assert output.latency >= 10 * config.cost.decode_ms_base / 1e3
+        assert output.latency <= 10 * (config.cost.decode_ms_base + 5) / 1e3 + 0.05
+
+    def test_continuous_batching_shares_steps(self, sim):
+        engine = MonolithicEngine(sim)
+
+        async def run_many():
+            tasks = [
+                sim.create_task(engine.generate(f"prompt {i}", SamplingConfig(max_tokens=8)))
+                for i in range(8)
+            ]
+            return await sim.gather(tasks)
+
+        outputs = sim.run_until_complete(run_many())
+        assert len(outputs) == 8
+        assert engine.stats.mean_batch_size > 1.5
+
+    def test_prefix_caching_avoids_recompute(self, sim):
+        engine = MonolithicEngine(sim, enable_prefix_caching=True)
+        prompt = "A" * 64  # four full pages
+
+        async def scenario():
+            first = await engine.generate(prompt, SamplingConfig(max_tokens=4))
+            second = await engine.generate(prompt, SamplingConfig(max_tokens=4))
+            return first, second
+
+        first, second = sim.run_until_complete(scenario())
+        assert first.cached_prompt_tokens == 0
+        assert second.cached_prompt_tokens >= 48
+        assert second.text == first.text
+        assert second.latency < first.latency
+
+    def test_radix_reuse_across_branches(self, sim):
+        engine = MonolithicEngine(sim, use_radix=True)
+        shared = "Common prefix shared across branches. " * 2
+
+        async def scenario():
+            await engine.generate(shared + "branch one", SamplingConfig(max_tokens=4))
+            return await engine.generate(shared + "branch two", SamplingConfig(max_tokens=4))
+
+        second = sim.run_until_complete(scenario())
+        assert second.cached_prompt_tokens >= 32
+
+    def test_ngram_speculation_reduces_steps_and_matches_output(self, sim):
+        prompt = "abcabcabcabcabc"
+        baseline_engine = MonolithicEngine(sim)
+        baseline = sim.run_until_complete(
+            baseline_engine.generate(prompt, SamplingConfig(max_tokens=12))
+        )
+        sim2 = Simulator(seed=5)
+        spec_engine = MonolithicEngine(sim2, enable_ngram_speculation=True)
+        spec = sim2.run_until_complete(
+            spec_engine.generate(prompt, SamplingConfig(max_tokens=12))
+        )
+        assert spec.text == baseline.text
+        assert spec.steps <= baseline.steps
+
+    def test_stop_string(self, sim):
+        engine = MonolithicEngine(sim)
+        output = sim.run_until_complete(
+            engine.generate("Hello", SamplingConfig(max_tokens=64, stop_strings=("e",)))
+        )
+        assert output.finish_reason in ("stop", "length")
+        if output.finish_reason == "stop":
+            assert output.text.endswith("e")
+
+    def test_kv_pages_released_after_completion(self, sim):
+        engine = MonolithicEngine(sim)
+        sim.run_until_complete(engine.generate("Hello", SamplingConfig(max_tokens=4)))
+        assert engine.memory.kv_pages.num_allocated == 0
+
+    def test_invalid_sampling_rejected(self):
+        with pytest.raises(BaselineError):
+            SamplingConfig(max_tokens=0)
+        with pytest.raises(BaselineError):
+            SamplingConfig(temperature=-1)
+
+
+class TestServers:
+    def test_vllm_like_generate(self, sim):
+        server = VllmLikeServer(sim)
+        output = sim.run_until_complete(server.generate("Hi", SamplingConfig(max_tokens=5)))
+        assert output.text == reference_greedy_completion("Hi", 5)
+
+    def test_vllm_beam_search_returns_best(self, sim):
+        server = VllmLikeServer(sim)
+        result = sim.run_until_complete(server.generate_beam("Hi", beam_width=3, max_tokens=4))
+        assert len(result.token_ids) == 4
+        assert result.logprob <= 0.0
+
+    def test_sglang_fork_generate_hits_radix(self, sim):
+        server = SglangLikeServer(sim)
+        prompt = "Shared reasoning prompt used by every branch. " * 2
+
+        async def scenario():
+            return await server.fork_generate(
+                prompt, ["branch A", "branch B", "branch C"], SamplingConfig(max_tokens=4)
+            )
+
+        outputs = sim.run_until_complete(scenario())
+        assert len(outputs) == 3
+        assert server.stats.total_cached_prompt_tokens > 0
+
+    def test_streamingllm_serialises_requests(self, sim):
+        server = StreamingLlmServer(sim)
+
+        async def scenario():
+            tasks = [
+                sim.create_task(server.generate(f"p{i}", SamplingConfig(max_tokens=4)))
+                for i in range(3)
+            ]
+            return await sim.gather(tasks)
+
+        outputs = sim.run_until_complete(scenario())
+        assert len(outputs) == 3
+        # One request at a time -> every engine step has batch size 1.
+        assert server.stats.mean_batch_size == pytest.approx(1.0)
+
+    def test_lmql_like_is_slower_than_vllm(self):
+        def run(server_cls):
+            sim = Simulator(seed=2)
+            server = server_cls(sim)
+            sim.run_until_complete(server.generate("Hello", SamplingConfig(max_tokens=8)))
+            return sim.now
+
+        assert run(LmqlLikeServer) > run(VllmLikeServer)
+
+
+class TestBaselineClient:
+    def test_generation_pays_round_trip(self, sim):
+        server = VllmLikeServer(sim)
+        client = BaselineClient(sim, server, rtt_ms=20.0)
+        output = sim.run_until_complete(client.generate("Hi", SamplingConfig(max_tokens=2)))
+        assert output.text
+        assert sim.now >= 0.020
+
+    def test_agent_loop_counts_round_trips_and_tools(self, sim):
+        external = ExternalServices(sim)
+        external.register("http://tool/api", lambda payload: "observation", ConstantLatency(0.05))
+        server = VllmLikeServer(sim)
+        client = BaselineClient(sim, server, external=external, rtt_ms=20.0)
+
+        async def scenario():
+            return await client.run_agent_loop(
+                "You are an agent.", "http://tool/api", n_interactions=3, tokens_per_turn=4
+            )
+
+        outputs = sim.run_until_complete(scenario())
+        assert len(outputs) == 4            # 3 interactions + final answer
+        assert client.generation_requests == 4
+        assert client.tool_calls == 3
+        assert external.total_calls() == 3
