@@ -1,0 +1,33 @@
+"""Benchmark for the cluster-scaling experiment (beyond the paper).
+
+Offered the same Figure-6 agent workload, aggregate throughput must be
+monotonically non-decreasing as the deployment scales from 1 to 8
+simulated devices, and the single-device row must match the paper's
+single-L4 setup (all agents finish, one device serving every batch).
+"""
+
+from repro.bench.experiments import cluster_scaling
+
+
+def test_cluster_scaling(run_experiment):
+    result = run_experiment(cluster_scaling)
+    rows = [r for r in result.rows if r["workload"] == "react"]
+    by_devices = {r["num_devices"]: r for r in rows}
+    assert sorted(by_devices) == [1, 2, 4, 8]
+
+    # Every configuration serves the full agent fleet.
+    for row in rows:
+        assert row["finished"] == 16
+
+    # Monotonically non-decreasing aggregate throughput from 1 -> 4 -> 8.
+    for smaller, larger in ((1, 2), (2, 4), (4, 8)):
+        assert (
+            by_devices[larger]["throughput_agents_per_s"]
+            >= by_devices[smaller]["throughput_agents_per_s"]
+        ), f"throughput regressed going from {smaller} to {larger} devices"
+
+    # Scaling out must actually help once the single device is saturated.
+    assert by_devices[8]["throughput_agents_per_s"] > by_devices[1]["throughput_agents_per_s"]
+
+    # Data-parallel trade-off: more devices -> smaller per-device batches.
+    assert by_devices[8]["mean_batch_size"] < by_devices[1]["mean_batch_size"]

@@ -4,7 +4,7 @@ Emerging LLM Applications* (SOSP 2025).
 The package is organised as:
 
 * ``repro.sim``        — deterministic discrete-event simulation kernel.
-* ``repro.gpu``        — simulated GPU device, paged KV memory, kernel cost model.
+* ``repro.gpu``        — simulated GPU devices (single or pooled), paged KV memory, kernel cost model.
 * ``repro.model``      — toy transformer substrate (real numpy math).
 * ``repro.grammar``    — constrained-decoding grammars (JSON machine, EBNF).
 * ``repro.core``       — the Pie system itself (the paper's contribution).

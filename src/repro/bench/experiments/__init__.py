@@ -10,4 +10,8 @@
 * ``table3_opportunity``   — opportunity cost of the programming model.
 * ``table4_model_size``    — TPOT overhead vs model size.
 * ``table5_batching``      — batching strategy throughput.
+
+Beyond the paper:
+
+* ``cluster_scaling``      — agent throughput from 1 to 8 simulated devices.
 """

@@ -15,10 +15,23 @@ def make_pie_setup(
     config: Optional[PieConfig] = None,
     seed: int = 0,
     with_tools: bool = True,
+    num_devices: Optional[int] = None,
+    placement_policy: Optional[str] = None,
 ) -> Tuple[Simulator, PieServer]:
-    """Create a simulator + Pie server + standard tool environment."""
+    """Create a simulator + Pie server + standard tool environment.
+
+    ``num_devices`` / ``placement_policy`` scale the deployment out to a
+    simulated multi-GPU cluster (they override the corresponding fields of
+    ``config``; see :mod:`repro.core.router`).
+    """
     sim = Simulator(seed=seed)
-    server = PieServer(sim, models=list(models), config=config)
+    server = PieServer(
+        sim,
+        models=list(models),
+        config=config,
+        num_devices=num_devices,
+        placement_policy=placement_policy,
+    )
     if with_tools:
         ToolEnvironment(sim, server.external)
     return sim, server

@@ -6,11 +6,14 @@ Three layers, as in the paper (§5):
   sandbox), the Inferlet Lifecycle Manager, and the per-inferlet API
   bindings (:mod:`repro.core.api`).
 * **Control layer** — the controller (:mod:`repro.core.controller`):
-  resource virtualisation, non-GPU API handling, the batch scheduler
-  (:mod:`repro.core.scheduler`, :mod:`repro.core.batching`) and the event
-  dispatcher.
+  resource virtualisation, non-GPU API handling, the cluster router
+  (:mod:`repro.core.router`) that places inferlets onto devices, the
+  per-device batch scheduler (:mod:`repro.core.scheduler`,
+  :mod:`repro.core.batching`) and the event dispatcher.
 * **Inference layer** — the API handlers (:mod:`repro.core.handlers`)
-  executing batched calls on the simulated device.
+  executing batched calls on the simulated device(s); with
+  ``GpuConfig.num_devices > 1`` each device shard runs its own handler set
+  and scheduler.
 
 :class:`repro.core.server.PieServer` wires the layers together;
 :class:`repro.core.server.PieClient` is the remote client used by the
@@ -22,6 +25,12 @@ from repro.core.handles import Embed, KvPage, Queue
 from repro.core.command_queue import Command, CommandQueue
 from repro.core.traits import TRAITS, trait_of_api, api_layer
 from repro.core.inferlet import InferletProgram, InferletInstance
+from repro.core.router import (
+    PLACEMENT_POLICIES,
+    ClusterSchedulerStats,
+    DeviceShard,
+    Router,
+)
 from repro.core.server import PieServer, PieClient, LaunchResult
 
 __all__ = [
@@ -36,6 +45,10 @@ __all__ = [
     "api_layer",
     "InferletProgram",
     "InferletInstance",
+    "PLACEMENT_POLICIES",
+    "ClusterSchedulerStats",
+    "DeviceShard",
+    "Router",
     "PieServer",
     "PieClient",
     "LaunchResult",

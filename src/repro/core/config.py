@@ -7,6 +7,10 @@ from dataclasses import dataclass, field
 from repro.errors import ReproError
 from repro.gpu.config import GpuConfig
 
+#: Valid cluster placement policies (see :mod:`repro.core.router`, which
+#: re-exports this as its single source of truth).
+PLACEMENT_POLICIES = ("round_robin", "least_loaded", "cache_affinity")
+
 
 @dataclass(frozen=True)
 class WasmRuntimeConfig:
@@ -48,9 +52,18 @@ class ControlLayerConfig:
     batch_scheduling_overhead_ms: float = 0.050
     ipc_crossing_ms: float = 0.006
     app_control_crossing_ms: float = 0.001
+    # Device-to-device KV page migration (cross-shard import): a fixed
+    # transfer setup cost plus a per-page term, approximating a PCIe/NVLink
+    # copy orchestrated by the control layer.
+    cross_device_transfer_base_ms: float = 0.2
+    cross_device_transfer_ms_per_page: float = 0.05
     # Resource-contention policy: "fcfs" terminates the most recently
     # created inferlets until enough resources are free.
     contention_policy: str = "fcfs"
+    # Cluster placement policy used by the router when num_devices > 1:
+    # "round_robin" | "least_loaded" | "cache_affinity" (see
+    # repro.core.router; irrelevant on a single device).
+    placement_policy: str = "round_robin"
 
 
 @dataclass(frozen=True)
@@ -82,3 +95,7 @@ class PieConfig:
             raise ReproError("default_top_k must be positive")
         if self.scheduler.policy not in {"adaptive", "eager", "k_only", "t_only"}:
             raise ReproError(f"unknown scheduler policy {self.scheduler.policy!r}")
+        if self.control.placement_policy not in PLACEMENT_POLICIES:
+            raise ReproError(
+                f"unknown placement policy {self.control.placement_policy!r}"
+            )

@@ -6,16 +6,17 @@ The controller sits between inferlets and the inference layer.  It
 * manages allocation and the virtual address mappings of ``Embed`` and
   ``KvPage`` resources, applying the FCFS termination policy when demand
   exceeds capacity;
+* places inferlets onto the devices of each model's cluster (the router,
+  :mod:`repro.core.router`) when ``num_devices > 1``;
 * translates inference-layer API calls into :class:`Command` objects and
-  feeds them to the per-model batch scheduler;
+  feeds them to the per-device batch scheduler of the inferlet's shard;
 * models the per-call overheads of the two layers (Figure 10, Table 3).
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
-from typing import Any, Callable, Dict, FrozenSet, List, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Dict, FrozenSet, List, Optional, Sequence
 
 from repro.errors import OutOfResourcesError, ReproError, ResourceError
 from repro.core.command_queue import Command
@@ -26,28 +27,93 @@ from repro.core.inferlet import InferletInstance
 from repro.core.messaging import ExternalServices, MessageBus
 from repro.core.metrics import SystemMetrics
 from repro.core.resources import ResourceManager
+from repro.core.router import ClusterSchedulerStats, DeviceShard, Router
 from repro.core.scheduler import BatchScheduler
-from repro.core.traits import api_layer
-from repro.gpu.device import SimDevice
 from repro.gpu.kernels import KernelCostModel
-from repro.gpu.memory import DeviceMemory
+from repro.gpu.pool import DevicePool
+from repro.core.traits import api_layer
 from repro.model.registry import ModelEntry, ModelRegistry
 from repro.sim.futures import SimFuture
-from repro.sim.latency import microseconds
+from repro.sim.latency import microseconds, milliseconds
 from repro.sim.simulator import Simulator
 
+if TYPE_CHECKING:  # imported only for the ModelService property annotations
+    from repro.gpu.device import SimDevice
+    from repro.gpu.memory import DeviceMemory
 
-@dataclass
+
 class ModelService:
-    """Everything needed to serve one model: device, memory, handlers, scheduler."""
+    """Everything needed to serve one model: a cluster of device shards.
 
-    entry: ModelEntry
-    memory: DeviceMemory
-    device: SimDevice
-    cost_model: KernelCostModel
-    handlers: ApiHandlers
-    scheduler: BatchScheduler
-    resources: ResourceManager
+    Each shard pairs one simulated device with its own memory, API handlers,
+    resource manager and adaptive batch scheduler; the :class:`Router`
+    assigns every inferlet to exactly one shard.  The ``memory`` / ``device``
+    / ``handlers`` / ``scheduler`` / ``resources`` attributes address shard
+    0 so existing single-device code (and ``num_devices=1`` deployments,
+    where shard 0 is the whole cluster) keeps working unchanged.
+    """
+
+    def __init__(
+        self,
+        entry: ModelEntry,
+        cost_model: KernelCostModel,
+        pool: DevicePool,
+        shards: List[DeviceShard],
+        router: Router,
+    ) -> None:
+        self.entry = entry
+        self.cost_model = cost_model
+        self.pool = pool
+        self.shards = shards
+        self.router = router
+
+    # -- shard-0 compatibility accessors ---------------------------------------
+
+    @property
+    def memory(self) -> "DeviceMemory":
+        return self.shards[0].memory
+
+    @property
+    def device(self) -> "SimDevice":
+        return self.shards[0].device
+
+    @property
+    def handlers(self) -> ApiHandlers:
+        return self.shards[0].handlers
+
+    @property
+    def scheduler(self) -> BatchScheduler:
+        return self.shards[0].scheduler
+
+    @property
+    def resources(self) -> ResourceManager:
+        return self.shards[0].resources
+
+    # -- cluster views ----------------------------------------------------------
+
+    @property
+    def num_devices(self) -> int:
+        return len(self.shards)
+
+    def shard_for(self, owner: str) -> DeviceShard:
+        """The shard the inferlet ``owner`` was placed on."""
+        return self.router.shard_for(owner)
+
+    def cluster_stats(self) -> ClusterSchedulerStats:
+        """Scheduler statistics merged across every device of the cluster."""
+        return ClusterSchedulerStats.from_shards(self.shards)
+
+    def find_export_shard(self, name: str) -> Optional[DeviceShard]:
+        for shard in self.shards:
+            if shard.resources.has_export(name):
+                return shard
+        return None
+
+    def list_exports(self) -> List[str]:
+        names: List[str] = []
+        for shard in self.shards:
+            names.extend(shard.resources.list_exports())
+        return sorted(names)
 
 
 class Controller:
@@ -74,27 +140,42 @@ class Controller:
             self._services[name] = self._build_service(registry.get(name))
 
     def _build_service(self, entry: ModelEntry) -> ModelService:
-        memory = DeviceMemory(entry.config, self.config.gpu)
-        device = SimDevice(self.sim, name=f"gpu:{entry.name}")
         cost_model = KernelCostModel(entry.config)
-        handlers = ApiHandlers(entry, memory, cost_model, self.config.default_top_k)
-        scheduler = BatchScheduler(
-            self.sim,
-            device,
-            handlers,
-            self.config.scheduler,
-            self.config.gpu,
-            self.config.control,
+        pool = DevicePool(
+            self.sim, entry.config, self.config.gpu, name_prefix=f"gpu:{entry.name}:"
         )
-        resources = ResourceManager(memory, model_name=entry.name)
+        shards: List[DeviceShard] = []
+        for index, (device, memory) in enumerate(zip(pool.devices, pool.memories)):
+            if self.config.gpu.num_devices == 1:
+                # Exact single-device compatibility, device name included.
+                device.name = f"gpu:{entry.name}"
+            handlers = ApiHandlers(entry, memory, cost_model, self.config.default_top_k)
+            scheduler = BatchScheduler(
+                self.sim,
+                device,
+                handlers,
+                self.config.scheduler,
+                self.config.gpu,
+                self.config.control,
+            )
+            resources = ResourceManager(memory, model_name=entry.name)
+            shards.append(
+                DeviceShard(
+                    index=index,
+                    device=device,
+                    memory=memory,
+                    handlers=handlers,
+                    scheduler=scheduler,
+                    resources=resources,
+                )
+            )
+        router = Router(shards, policy=self.config.control.placement_policy)
         return ModelService(
             entry=entry,
-            memory=memory,
-            device=device,
             cost_model=cost_model,
-            handlers=handlers,
-            scheduler=scheduler,
-            resources=resources,
+            pool=pool,
+            shards=shards,
+            router=router,
         )
 
     # -- services & models ----------------------------------------------------
@@ -123,15 +204,23 @@ class Controller:
         self._instances[instance.instance_id] = instance
         self.metrics.register(instance.metrics)
         for service in self._services.values():
-            service.resources.create_space(instance.instance_id)
+            shard = service.router.place(
+                instance.instance_id, hint=instance.program.placement_hint
+            )
+            shard.resources.create_space(instance.instance_id)
+            self.metrics.record_placement(shard.name)
 
     def unregister_inferlet(self, instance: InferletInstance) -> None:
         self._instances.pop(instance.instance_id, None)
         for service in self._services.values():
-            for queue in service.scheduler.queues_for_owner(instance.instance_id):
-                service.scheduler.remove_queue(queue.key)
-            if service.resources.has_space(instance.instance_id):
-                service.resources.destroy_space(instance.instance_id)
+            if not service.router.is_placed(instance.instance_id):
+                continue
+            shard = service.router.shard_for(instance.instance_id)
+            for queue in shard.scheduler.queues_for_owner(instance.instance_id):
+                shard.scheduler.remove_queue(queue.key)
+            if shard.resources.has_space(instance.instance_id):
+                shard.resources.destroy_space(instance.instance_id)
+            service.router.release(instance.instance_id)
 
     def set_terminate_hook(self, hook: Callable[[InferletInstance, str], None]) -> None:
         """Called by the lifecycle manager so FCFS reclamation can abort tasks."""
@@ -175,26 +264,27 @@ class Controller:
     def create_queue(self, instance: InferletInstance, model: Optional[str] = None) -> Queue:
         model = model or self.default_model()
         service = self.service(model)
+        shard = service.shard_for(instance.instance_id)
         qid = next(self._queue_ids)
         handle = Queue(qid=qid, owner=instance.instance_id, model=model)
-        service.scheduler.create_queue(
+        shard.scheduler.create_queue(
             key=(instance.instance_id, qid), model=model, owner=instance.instance_id
         )
         return handle
 
     def destroy_queue(self, instance: InferletInstance, handle: Queue) -> None:
-        service = self.service(handle.model)
-        service.scheduler.remove_queue((handle.owner, handle.qid))
+        shard = self.service(handle.model).shard_for(handle.owner)
+        shard.scheduler.remove_queue((handle.owner, handle.qid))
         handle.closed = True
 
     def set_queue_priority(self, handle: Queue, priority: int) -> None:
-        service = self.service(handle.model)
-        service.scheduler.set_priority((handle.owner, handle.qid), priority)
+        shard = self.service(handle.model).shard_for(handle.owner)
+        shard.scheduler.set_priority((handle.owner, handle.qid), priority)
         handle.priority = priority
 
     def synchronize(self, handle: Queue) -> SimFuture:
-        service = self.service(handle.model)
-        queue = service.scheduler.get_queue((handle.owner, handle.qid))
+        shard = self.service(handle.model).shard_for(handle.owner)
+        queue = shard.scheduler.get_queue((handle.owner, handle.qid))
         future = self.sim.create_future(name="synchronize")
         queue.synchronize(future)
         return future
@@ -205,17 +295,20 @@ class Controller:
         self, instance: InferletInstance, handle: Queue, count: int
     ) -> List[KvPage]:
         service = self.service(handle.model)
-        self._ensure_capacity(service, instance, kv_pages=count)
-        return service.resources.alloc_kv_pages(instance.instance_id, count)
+        shard = service.shard_for(instance.instance_id)
+        self._ensure_capacity(service, shard, instance, kv_pages=count)
+        return shard.resources.alloc_kv_pages(instance.instance_id, count)
 
     def alloc_embeds(self, instance: InferletInstance, handle: Queue, count: int) -> List[Embed]:
         service = self.service(handle.model)
-        self._ensure_capacity(service, instance, embeds=count)
-        return service.resources.alloc_embeds(instance.instance_id, count)
+        shard = service.shard_for(instance.instance_id)
+        self._ensure_capacity(service, shard, instance, embeds=count)
+        return shard.resources.alloc_embeds(instance.instance_id, count)
 
     def _ensure_capacity(
         self,
         service: ModelService,
+        shard: DeviceShard,
         requester: InferletInstance,
         kv_pages: int = 0,
         embeds: int = 0,
@@ -223,25 +316,33 @@ class Controller:
         """FCFS policy: terminate the most recently created inferlets until
         the request fits.  If the requester itself is the most recently
         created inferlet, it is the one terminated (first come, first
-        served)."""
+        served).  Only inferlets placed on the contended shard are eligible
+        victims — killing one on another device would free nothing here."""
         if self.config.control.contention_policy != "fcfs":
             return
         while (
-            service.resources.kv_pages_free < kv_pages
-            or service.resources.embeds_free < embeds
+            shard.resources.kv_pages_free < kv_pages
+            or shard.resources.embeds_free < embeds
         ):
-            victim = self._youngest_victim()
+            victim = self._youngest_victim(service, shard)
             if victim is None:
                 raise OutOfResourcesError(
-                    f"model {service.entry.name!r} cannot satisfy the allocation "
-                    f"(kv={kv_pages}, emb={embeds}) even after reclamation"
+                    f"model {service.entry.name!r} ({shard.name}) cannot satisfy the "
+                    f"allocation (kv={kv_pages}, emb={embeds}) even after reclamation"
                 )
             self.terminate_inferlet(victim, reason="resource reclamation (FCFS)")
             if victim.instance_id == requester.instance_id:
                 requester.check_alive()  # raises InferletTerminated
 
-    def _youngest_victim(self) -> Optional[InferletInstance]:
-        candidates = [inst for inst in self._instances.values() if not inst.finished]
+    def _youngest_victim(
+        self, service: ModelService, shard: DeviceShard
+    ) -> Optional[InferletInstance]:
+        on_shard = set(service.router.instances_on(shard))
+        candidates = [
+            inst
+            for inst in self._instances.values()
+            if not inst.finished and inst.instance_id in on_shard
+        ]
         if not candidates:
             return None
         return max(candidates, key=lambda inst: inst.created_at)
@@ -258,12 +359,12 @@ class Controller:
     def dealloc_kv_pages(
         self, instance: InferletInstance, handle: Queue, pages: Sequence[KvPage]
     ) -> SimFuture:
-        service = self.service(handle.model)
+        shard = self.service(handle.model).shard_for(instance.instance_id)
         pages = list(pages)
 
         def release() -> None:
-            if service.resources.has_space(instance.instance_id):
-                service.resources.dealloc_kv_pages(instance.instance_id, pages)
+            if shard.resources.has_space(instance.instance_id):
+                shard.resources.dealloc_kv_pages(instance.instance_id, pages)
 
         return self.submit_command(
             instance, handle, "dealloc_kv", {"release": release}, reads=frozenset(), writes=frozenset()
@@ -272,12 +373,12 @@ class Controller:
     def dealloc_embeds(
         self, instance: InferletInstance, handle: Queue, embeds: Sequence[Embed]
     ) -> SimFuture:
-        service = self.service(handle.model)
+        shard = self.service(handle.model).shard_for(instance.instance_id)
         embeds = list(embeds)
 
         def release() -> None:
-            if service.resources.has_space(instance.instance_id):
-                service.resources.dealloc_embeds(instance.instance_id, embeds)
+            if shard.resources.has_space(instance.instance_id):
+                shard.resources.dealloc_embeds(instance.instance_id, embeds)
 
         return self.submit_command(
             instance, handle, "dealloc_emb", {"release": release}, reads=frozenset(), writes=frozenset()
@@ -291,30 +392,91 @@ class Controller:
         if not pages:
             raise ResourceError("export_kvpage requires at least one page")
         service = self.service(pages[0].model)
-        service.resources.export_kv_pages(instance.instance_id, pages, name)
+        shard = service.shard_for(instance.instance_id)
+        if service.find_export_shard(name) is not None:
+            raise ResourceError(f"export name {name!r} already in use")
+        shard.resources.export_kv_pages(instance.instance_id, pages, name)
 
     def import_kv_pages(
         self, instance: InferletInstance, name: str, model: Optional[str] = None
     ) -> List[KvPage]:
         model = model or self._find_export_model(name)
         service = self.service(model)
-        return service.resources.import_kv_pages(instance.instance_id, name)
+        src_shard = service.find_export_shard(name)
+        if src_shard is None:
+            raise ResourceError(f"no export named {name!r} in model {model!r}")
+        dst_shard = service.shard_for(instance.instance_id)
+        if src_shard is dst_shard:
+            return src_shard.resources.import_kv_pages(instance.instance_id, name)
+        return self._cross_device_import(service, instance, name, src_shard, dst_shard)
+
+    def _cross_device_import(
+        self,
+        service: ModelService,
+        instance: InferletInstance,
+        name: str,
+        src_shard: DeviceShard,
+        dst_shard: DeviceShard,
+    ) -> List[KvPage]:
+        """Import pages exported on another device of the same cluster.
+
+        The exported pages stay where they are; the importer gets fresh
+        pages on *its* device with the KV contents copied over (the
+        simulated equivalent of an NVLink/PCIe transfer).  The transfer
+        occupies the destination device for the transfer time — it consumes
+        that device's memory bandwidth — so commands issued against the
+        migrated pages wait for the copy to land.  ``cache_affinity``
+        placement exists to avoid paying this path.
+
+        Note the semantics: a same-shard import *aliases* the exporter's
+        physical pages (refcounted sharing, as on a single device) while a
+        cross-shard import takes a point-in-time *snapshot*.  Exports are
+        therefore treated as immutable published prefixes — the support
+        library seals imported pages read-only, and an exporter that
+        mutates pages after publishing them gets device-dependent
+        visibility."""
+        entry = src_shard.resources.export_info(name)
+        self._ensure_capacity(service, dst_shard, instance, kv_pages=len(entry.physical_ids))
+        handles = dst_shard.resources.alloc_kv_pages(
+            instance.instance_id, len(entry.physical_ids)
+        )
+        physical_ids = dst_shard.resources.resolve_kv_many(instance.instance_id, handles)
+        for src_pid, dst_pid in zip(entry.physical_ids, physical_ids):
+            src_page = src_shard.memory.kv_pages.page(src_pid)
+            dst_shard.memory.kv_pages.page(dst_pid).copy_page_from(src_page)
+        control = self.config.control
+        transfer_seconds = milliseconds(
+            control.cross_device_transfer_base_ms
+            + control.cross_device_transfer_ms_per_page * len(physical_ids)
+        )
+        dst_shard.device.submit(
+            kind="kv_transfer",
+            run=lambda: None,
+            cost_seconds=transfer_seconds,
+            size=len(physical_ids),
+        )
+        entry.imports += 1
+        self.metrics.cross_device_imports += 1
+        return handles
 
     def release_export(self, name: str, model: Optional[str] = None) -> None:
         model = model or self._find_export_model(name)
-        self.service(model).resources.release_export(name)
+        shard = self.service(model).find_export_shard(name)
+        if shard is None:
+            raise ResourceError(f"no export named {name!r} in model {model!r}")
+        shard.resources.release_export(name)
 
     def list_exports(self, model: Optional[str] = None) -> List[str]:
         if model is not None:
-            return self.service(model).resources.list_exports()
+            return self.service(model).list_exports()
         names: List[str] = []
         for service in self._services.values():
-            names.extend(service.resources.list_exports())
+            names.extend(service.list_exports())
         return sorted(names)
 
     def _find_export_model(self, name: str) -> str:
         for model, service in self._services.items():
-            if service.resources.has_export(name):
+            if service.find_export_shard(name) is not None:
                 return model
         raise ResourceError(f"no export named {name!r} in any served model")
 
@@ -332,10 +494,11 @@ class Controller:
         reads: FrozenSet = frozenset(),
         writes: FrozenSet = frozenset(),
     ) -> SimFuture:
-        """Create a command and deliver it to the scheduler after the
-        inference-layer call overhead has elapsed."""
+        """Create a command and deliver it to the scheduler of the
+        inferlet's shard after the inference-layer call overhead has
+        elapsed."""
         instance.check_alive()
-        service = self.service(handle.model)
+        shard = self.service(handle.model).shard_for(instance.instance_id)
         future = self.sim.create_future(name=f"{kind}:{instance.instance_id}")
         command = Command(
             kind=kind,
@@ -351,32 +514,32 @@ class Controller:
         )
         overhead = self.inference_call_overhead()
         queue_key = (handle.owner, handle.qid)
-        self.sim.schedule(overhead, self._deliver_command, service, queue_key, command)
+        self.sim.schedule(overhead, self._deliver_command, shard, queue_key, command)
         return future
 
     @staticmethod
-    def _deliver_command(service: ModelService, queue_key: Any, command: Command) -> None:
+    def _deliver_command(shard: DeviceShard, queue_key: Any, command: Command) -> None:
         # The owning inferlet may have finished (or been terminated) between
         # issuing the call and its delivery; its queues are gone and the
         # command is dropped.  Resolving the future keeps any stray awaiters
         # from deadlocking.
         try:
-            service.scheduler.get_queue(queue_key)
+            shard.scheduler.get_queue(queue_key)
         except Exception:
             if not command.future.done():
                 command.future.set_result(None)
             return
-        service.scheduler.submit(queue_key, command)
+        shard.scheduler.submit(queue_key, command)
 
     # -- resolution helpers used by the API bindings -------------------------------------------------------
 
     def resolve_kv(self, instance: InferletInstance, handle: Queue, pages: Sequence[KvPage]) -> List[int]:
-        service = self.service(handle.model)
-        return service.resources.resolve_kv_many(instance.instance_id, pages)
+        shard = self.service(handle.model).shard_for(instance.instance_id)
+        return shard.resources.resolve_kv_many(instance.instance_id, pages)
 
     def resolve_emb(self, instance: InferletInstance, handle: Queue, embeds: Sequence[Embed]) -> List[int]:
-        service = self.service(handle.model)
-        return service.resources.resolve_emb_many(instance.instance_id, embeds)
+        shard = self.service(handle.model).shard_for(instance.instance_id)
+        return shard.resources.resolve_emb_many(instance.instance_id, embeds)
 
     # -- messaging and I/O --------------------------------------------------------------------------------------
 

@@ -34,6 +34,10 @@ class InferletProgram:
     source_loc: int = 0
     requirements: Tuple[str, ...] = ()
     traits_needed: Tuple[str, ...] = ("Forward", "InputText", "Tokenize", "OutputText")
+    # Cluster placement hint: the name of a KV export this program intends
+    # to import, so the ``cache_affinity`` router policy can co-locate it
+    # with the pages (see repro.core.router).
+    placement_hint: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not callable(self.main):

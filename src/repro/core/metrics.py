@@ -63,10 +63,19 @@ class SystemMetrics:
     total_output_tokens: int = 0
     launch_latencies: List[float] = field(default_factory=list)
     per_inferlet: Dict[str, InferletMetrics] = field(default_factory=dict)
+    # Cluster-level accounting (router placements and KV-page migrations).
+    placements_by_device: Dict[str, int] = field(default_factory=dict)
+    cross_device_imports: int = 0
 
     def register(self, metrics: InferletMetrics) -> None:
         self.per_inferlet[metrics.inferlet_id] = metrics
         self.inferlets_launched += 1
+
+    def record_placement(self, device_name: str) -> None:
+        """Count one inferlet placed onto a device by the cluster router."""
+        self.placements_by_device[device_name] = (
+            self.placements_by_device.get(device_name, 0) + 1
+        )
 
     def get(self, inferlet_id: str) -> InferletMetrics:
         return self.per_inferlet[inferlet_id]

@@ -1,0 +1,171 @@
+"""The cluster router: placing inferlets onto devices.
+
+With ``GpuConfig.num_devices > 1`` each served model becomes a cluster of
+:class:`DeviceShard` replicas — one device, one memory, one set of API
+handlers, one adaptive batch scheduler per shard.  An inferlet is *placed*
+onto exactly one shard per model when it registers with the controller;
+every queue it creates and every page it allocates then lives on that
+shard, so the per-device schedulers never have to coordinate.
+
+Placement is a pluggable policy (:data:`PLACEMENT_POLICIES`):
+
+* ``round_robin``   — cycle through the shards in order; the baseline
+  data-parallel strategy and the default.
+* ``least_loaded``  — pick the shard with the fewest live inferlets,
+  breaking ties by pending work (queued commands + device backlog), then
+  by index.  Deterministic given the simulator's event order.
+* ``cache_affinity`` — if the inferlet declares a placement hint (the name
+  of a KV export it intends to import, see
+  ``InferletProgram.placement_hint``) and a shard holds an export of
+  exactly that name, place it there so the import is a local remap instead
+  of a device-to-device copy; otherwise fall back to ``least_loaded``.
+
+:class:`ClusterSchedulerStats` merges the per-shard
+:class:`~repro.core.scheduler.SchedulerStats` so experiments read one
+aggregate regardless of cluster size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ReproError, SchedulingError
+from repro.core.config import PLACEMENT_POLICIES
+from repro.core.handlers import ApiHandlers
+from repro.core.resources import ResourceManager
+from repro.core.scheduler import BatchScheduler, SchedulerStats
+from repro.gpu.device import SimDevice
+from repro.gpu.memory import DeviceMemory
+
+__all__ = [
+    "PLACEMENT_POLICIES",
+    "DeviceShard",
+    "Router",
+    "ClusterSchedulerStats",
+    "aggregate_scheduler_stats",
+]
+
+
+@dataclass
+class DeviceShard:
+    """One device-parallel replica of a model's inference layer."""
+
+    index: int
+    device: SimDevice
+    memory: DeviceMemory
+    handlers: ApiHandlers
+    scheduler: BatchScheduler
+    resources: ResourceManager
+
+    @property
+    def name(self) -> str:
+        return self.device.name
+
+    @property
+    def pending_work(self) -> int:
+        """Commands awaiting dispatch plus batches queued on the device."""
+        return self.scheduler.total_pending + self.device.queue_depth + (
+            1 if self.device.busy else 0
+        )
+
+
+class Router:
+    """Places inferlet instances onto the shards of one model service."""
+
+    def __init__(self, shards: Sequence[DeviceShard], policy: str = "round_robin") -> None:
+        if not shards:
+            raise ReproError("router needs at least one shard")
+        if policy not in PLACEMENT_POLICIES:
+            raise ReproError(
+                f"unknown placement policy {policy!r}; have {sorted(PLACEMENT_POLICIES)}"
+            )
+        self.shards = list(shards)
+        self.policy = policy
+        self._placements: Dict[str, int] = {}
+        self._rr_next = 0
+
+    # -- placement -------------------------------------------------------------
+
+    def place(self, instance_id: str, hint: Optional[str] = None) -> DeviceShard:
+        """Assign an inferlet to a shard; idempotent per instance."""
+        if instance_id in self._placements:
+            return self.shards[self._placements[instance_id]]
+        if self.policy == "round_robin":
+            index = self._place_round_robin()
+        elif self.policy == "least_loaded":
+            index = self._place_least_loaded()
+        else:
+            index = self._place_cache_affinity(hint)
+        self._placements[instance_id] = index
+        return self.shards[index]
+
+    def release(self, instance_id: str) -> None:
+        self._placements.pop(instance_id, None)
+
+    def shard_for(self, instance_id: str) -> DeviceShard:
+        try:
+            return self.shards[self._placements[instance_id]]
+        except KeyError:
+            raise SchedulingError(
+                f"inferlet {instance_id!r} was never placed on this model's cluster"
+            ) from None
+
+    def is_placed(self, instance_id: str) -> bool:
+        return instance_id in self._placements
+
+    def instances_on(self, shard: DeviceShard) -> List[str]:
+        return [iid for iid, index in self._placements.items() if index == shard.index]
+
+    # -- policy implementations -------------------------------------------------
+
+    def _place_round_robin(self) -> int:
+        index = self._rr_next % len(self.shards)
+        self._rr_next += 1
+        return index
+
+    def _place_least_loaded(self) -> int:
+        occupancy = {shard.index: 0 for shard in self.shards}
+        for placed_index in self._placements.values():
+            occupancy[placed_index] += 1
+        return min(
+            self.shards,
+            key=lambda shard: (occupancy[shard.index], shard.pending_work, shard.index),
+        ).index
+
+    def _place_cache_affinity(self, hint: Optional[str]) -> int:
+        # Exact export-name match only: fuzzy (prefix) matching would let one
+        # generic export name capture every hinted inferlet and create a
+        # hotspot the least_loaded fallback is meant to prevent.
+        if hint:
+            for shard in self.shards:
+                if shard.resources.has_export(hint):
+                    return shard.index
+        return self._place_least_loaded()
+
+
+def aggregate_scheduler_stats(stats: Sequence[SchedulerStats]) -> SchedulerStats:
+    """Merge per-shard dispatch statistics into one cluster-level record."""
+    total = SchedulerStats()
+    for record in stats:
+        total.batches_dispatched += record.batches_dispatched
+        total.commands_dispatched += record.commands_dispatched
+        for kind, count in record.batches_by_kind.items():
+            total.batches_by_kind[kind] = total.batches_by_kind.get(kind, 0) + count
+        total.batch_sizes.extend(record.batch_sizes)
+    return total
+
+
+@dataclass
+class ClusterSchedulerStats:
+    """Cluster view: the merged stats plus the per-device breakdown."""
+
+    combined: SchedulerStats
+    per_device: Dict[str, SchedulerStats]
+
+    @classmethod
+    def from_shards(cls, shards: Sequence[DeviceShard]) -> "ClusterSchedulerStats":
+        return cls(
+            combined=aggregate_scheduler_stats([shard.scheduler.stats for shard in shards]),
+            per_device={shard.name: shard.scheduler.stats for shard in shards},
+        )

@@ -10,7 +10,7 @@ client, exactly as the paper does.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.errors import ClientError
@@ -47,9 +47,20 @@ class PieServer:
         models: Optional[Sequence[str]] = None,
         config: Optional[PieConfig] = None,
         external: Optional[ExternalServices] = None,
+        num_devices: Optional[int] = None,
+        placement_policy: Optional[str] = None,
     ) -> None:
         self.sim = sim
-        self.config = config or PieConfig()
+        config = config or PieConfig()
+        # Cluster knobs: shorthand overrides so callers don't have to rebuild
+        # the nested frozen config just to scale out.
+        if num_devices is not None:
+            config = replace(config, gpu=replace(config.gpu, num_devices=num_devices))
+        if placement_policy is not None:
+            config = replace(
+                config, control=replace(config.control, placement_policy=placement_policy)
+            )
+        self.config = config
         registry = ModelRegistry(models or ["llama-sim-1b"])
         self.registry = registry
         self.external = external or ExternalServices(sim)
@@ -65,6 +76,14 @@ class PieServer:
     @property
     def metrics(self):
         return self.controller.metrics
+
+    @property
+    def num_devices(self) -> int:
+        return self.config.gpu.num_devices
+
+    def cluster_stats(self, model: Optional[str] = None):
+        """Scheduler stats aggregated over every device serving ``model``."""
+        return self.service(model).cluster_stats()
 
     def register_program(self, program: InferletProgram, precompiled: bool = True) -> None:
         self.lifecycle.register_program(program, precompiled=precompiled)

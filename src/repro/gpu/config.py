@@ -14,6 +14,11 @@ class GpuConfig:
     The defaults approximate the paper's setup (NVIDIA L4, 24 GB): the KV
     pool is sized at startup from GPU memory; the batch size limit mirrors
     the "maximum supported size" the scheduler truncates batches to.
+
+    ``num_devices`` sizes the cluster: each simulated device gets its *own*
+    memory pools of the capacities below (they are per-device, not shared),
+    its own batch scheduler, and its own busy/idle notification channel.
+    The default of 1 reproduces the paper's single-L4 deployment exactly.
     """
 
     num_kv_pages: int = 4096
@@ -21,10 +26,13 @@ class GpuConfig:
     max_batch_rows: int = 256
     max_batch_tokens: int = 8192
     name: str = "sim-l4"
+    num_devices: int = 1
 
     def __post_init__(self) -> None:
         if self.num_kv_pages <= 0:
             raise ReproError("num_kv_pages must be positive")
+        if self.num_devices <= 0:
+            raise ReproError("num_devices must be positive")
         if self.num_embed_slots <= 0:
             raise ReproError("num_embed_slots must be positive")
         if self.max_batch_rows <= 0:

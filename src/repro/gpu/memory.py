@@ -62,6 +62,19 @@ class PhysicalKvPage:
         self.valid[slot] = True
         self.visible[slot] = True
 
+    def copy_page_from(self, other: "PhysicalKvPage") -> None:
+        """Whole-page copy (used for device-to-device KV transfers)."""
+        if other.page_size != self.page_size:
+            raise ResourceError(
+                f"page size mismatch: {other.page_size} -> {self.page_size}"
+            )
+        for layer in range(len(self.keys)):
+            self.keys[layer][:] = other.keys[layer]
+            self.values[layer][:] = other.values[layer]
+        self.positions[:] = other.positions
+        self.valid[:] = other.valid
+        self.visible[:] = other.visible
+
     def copy_token_from(self, other: "PhysicalKvPage", src_slot: int, dst_slot: int) -> None:
         """Token-level copy (used by ``copy_kvpage``)."""
         if not other.valid[src_slot]:

@@ -1,0 +1,297 @@
+"""Tests for the cluster layer: router placement policies, per-device
+schedulers, cross-device KV import, and the num_devices=1 regression."""
+
+import pytest
+
+from repro.core import InferletProgram, PieServer, PLACEMENT_POLICIES
+from repro.core.config import ControlLayerConfig, PieConfig
+from repro.core.router import Router, aggregate_scheduler_stats
+from repro.errors import ReproError
+from repro.gpu.config import GpuConfig
+from repro.sim import Simulator
+from repro.support import Context, SamplingParams
+
+
+def make_completion_program(name, prompt, max_tokens=8):
+    async def main(ctx):
+        context = Context(ctx, sampling=SamplingParams())
+        await context.fill(prompt)
+        text = await context.generate_until(max_tokens=max_tokens)
+        context.free()
+        return text
+
+    return InferletProgram(name=name, main=main)
+
+
+def run_fleet(server, programs):
+    sim = server.sim
+    for program in programs:
+        server.register_program(program)
+
+    async def run_all():
+        tasks = [sim.create_task(server.run_inferlet(p.name)) for p in programs]
+        return await sim.gather(tasks)
+
+    return sim.run_until_complete(run_all())
+
+
+class TestConfig:
+    def test_num_devices_must_be_positive(self):
+        with pytest.raises(ReproError):
+            GpuConfig(num_devices=0)
+
+    def test_placement_policy_validated(self):
+        with pytest.raises(ReproError):
+            PieConfig(control=ControlLayerConfig(placement_policy="random"))
+
+    def test_policy_sets_agree(self):
+        # The literal set validated in config must match the router's.
+        for policy in PLACEMENT_POLICIES:
+            PieConfig(control=ControlLayerConfig(placement_policy=policy))
+
+    def test_server_shorthand_overrides(self):
+        sim = Simulator(seed=0)
+        server = PieServer(sim, num_devices=3, placement_policy="least_loaded")
+        assert server.num_devices == 3
+        assert server.config.control.placement_policy == "least_loaded"
+        assert len(server.service().shards) == 3
+
+
+class TestPlacementPolicies:
+    def test_round_robin_cycles_devices(self):
+        sim = Simulator(seed=0)
+        server = PieServer(sim, num_devices=3, placement_policy="round_robin")
+        programs = [make_completion_program(f"p{i}", f"prompt {i} ") for i in range(6)]
+        results = run_fleet(server, programs)
+        assert all(r.status == "finished" for r in results)
+        placements = server.metrics.placements_by_device
+        assert sorted(placements.values()) == [2, 2, 2]
+
+    def test_least_loaded_fills_gaps(self):
+        sim = Simulator(seed=0)
+        server = PieServer(sim, num_devices=3)
+        router = Router(server.service().shards, policy="least_loaded")
+        assert [router.place(i).index for i in ("a", "b", "c")] == [0, 1, 2]
+        router.release("b")
+        assert router.place("d").index == 1  # the freed shard is emptiest
+        assert router.place("e").index == 0  # ties broken by index
+
+    def test_cache_affinity_follows_export(self):
+        sim = Simulator(seed=0)
+        server = PieServer(sim, num_devices=2, placement_policy="cache_affinity")
+
+        async def exporter(ctx):
+            context = Context(ctx, sampling=SamplingParams())
+            await context.fill("shared prefix text ")
+            context.export_prefix("affinity-prefix")
+            return "ok"
+
+        async def importer(ctx):
+            queue = ctx.create_queue()
+            tokens = ctx.tokenize(queue, "shared prefix text ")
+            context = await Context.from_export(ctx, "affinity-prefix", tokens)
+            await context.fill("suffix")
+            text = await context.generate_until(max_tokens=4)
+            context.free()
+            return text
+
+        server.register_program(InferletProgram(name="exporter", main=exporter))
+        server.register_program(
+            InferletProgram(
+                name="importer", main=importer, placement_hint="affinity-prefix"
+            )
+        )
+        sim.run_until_complete(server.run_inferlet("exporter"))
+        result = sim.run_until_complete(server.run_inferlet("importer"))
+        assert result.status == "finished"
+        # The hint co-located the importer with the pages: no migration.
+        assert server.metrics.cross_device_imports == 0
+
+    def test_cache_affinity_without_matching_export_falls_back(self):
+        sim = Simulator(seed=0)
+        server = PieServer(sim, num_devices=3)
+        router = Router(server.service().shards, policy="cache_affinity")
+        # No export anywhere: hinted placement degrades to least_loaded,
+        # spreading across shards instead of pinning to shard 0.
+        indices = [router.place(f"i{n}", hint="ghost-prefix").index for n in range(3)]
+        assert indices == [0, 1, 2]
+
+    def test_unknown_policy_rejected_by_router(self):
+        sim = Simulator(seed=0)
+        server = PieServer(sim, num_devices=2)
+        with pytest.raises(ReproError):
+            Router(server.service().shards, policy="hash")
+
+
+class TestCrossDeviceImport:
+    def _run(self, num_devices):
+        sim = Simulator(seed=3)
+        server = PieServer(sim, num_devices=num_devices, placement_policy="round_robin")
+
+        async def exporter(ctx):
+            context = Context(ctx, sampling=SamplingParams())
+            await context.fill("the quick brown fox ")
+            context.export_prefix("xfer-prefix")
+            return "exported"
+
+        async def importer(ctx):
+            queue = ctx.create_queue()
+            tokens = ctx.tokenize(queue, "the quick brown fox ")
+            context = await Context.from_export(ctx, "xfer-prefix", tokens)
+            await context.fill("jumps")
+            text = await context.generate_until(max_tokens=6)
+            context.free()
+            return text
+
+        server.register_program(InferletProgram(name="exporter", main=exporter))
+        server.register_program(InferletProgram(name="importer", main=importer))
+        sim.run_until_complete(server.run_inferlet("exporter"))
+        result = sim.run_until_complete(server.run_inferlet("importer"))
+        return server, result
+
+    def test_import_migrates_pages_between_devices(self):
+        server, result = self._run(num_devices=2)
+        assert result.status == "finished"
+        # Round robin put exporter on device 0 and importer on device 1, so
+        # the import paid one device-to-device page migration.
+        assert server.metrics.cross_device_imports == 1
+
+    def test_migrated_pages_decode_identically(self):
+        _, single = self._run(num_devices=1)
+        _, clustered = self._run(num_devices=2)
+        # The KV contents survived the copy: greedy decoding from the
+        # migrated prefix yields the exact same text as the local import.
+        assert clustered.result == single.result
+
+    def test_migration_is_not_free(self):
+        # The transfer occupies the destination device, so the clustered
+        # run is strictly slower than the same-shard import and the device
+        # records the kv_transfer batch.
+        server_1, single = self._run(num_devices=1)
+        server_2, clustered = self._run(num_devices=2)
+        assert clustered.latency > single.latency
+        pool_kinds = server_2.service().pool.aggregate_stats().batches_by_kind
+        assert pool_kinds.get("kv_transfer") == 1
+        single_kinds = server_1.service().pool.aggregate_stats().batches_by_kind
+        assert "kv_transfer" not in single_kinds
+
+
+class TestPerDeviceMemory:
+    def test_pools_are_per_device(self):
+        # Two inferlets each grab the ENTIRE per-device KV pool; on a
+        # 2-device cluster both fit (one pool each), so neither is
+        # FCFS-terminated.
+        config = PieConfig(gpu=GpuConfig(num_kv_pages=8, num_devices=2))
+        sim = Simulator(seed=0)
+        server = PieServer(sim, config=config)
+
+        async def hog(ctx):
+            queue = ctx.create_queue()
+            pages = ctx.alloc_kvpage(queue, 8)
+            await ctx.sleep(0.05)
+            await ctx.dealloc_kvpage(queue, pages)
+            await ctx.synchronize(queue)
+            return len(pages)
+
+        programs = [
+            InferletProgram(name="hog0", main=hog),
+            InferletProgram(name="hog1", main=hog),
+        ]
+        results = run_fleet(server, programs)
+        assert [r.status for r in results] == ["finished", "finished"]
+        assert server.metrics.inferlets_terminated == 0
+
+    def test_single_device_contention_still_reclaims(self):
+        # Same workload on ONE device: the second hog cannot fit and the
+        # FCFS policy terminates the youngest inferlet, as before.
+        config = PieConfig(gpu=GpuConfig(num_kv_pages=8, num_devices=1))
+        sim = Simulator(seed=0)
+        server = PieServer(sim, config=config)
+
+        async def hog(ctx):
+            queue = ctx.create_queue()
+            pages = ctx.alloc_kvpage(queue, 8)
+            await ctx.sleep(0.05)
+            await ctx.dealloc_kvpage(queue, pages)
+            await ctx.synchronize(queue)
+            return len(pages)
+
+        programs = [
+            InferletProgram(name="hog0", main=hog),
+            InferletProgram(name="hog1", main=hog),
+        ]
+        results = run_fleet(server, programs)
+        assert server.metrics.inferlets_terminated == 1
+        assert sorted(r.status for r in results) == ["finished", "terminated"]
+
+
+class TestClusterStats:
+    def test_aggregation_matches_per_device_sums(self):
+        sim = Simulator(seed=0)
+        server = PieServer(sim, num_devices=4)
+        programs = [make_completion_program(f"p{i}", f"prompt {i} ") for i in range(8)]
+        results = run_fleet(server, programs)
+        sim.run()  # drain batches still executing on the devices
+        assert all(r.status == "finished" for r in results)
+        stats = server.cluster_stats()
+        assert len(stats.per_device) == 4
+        assert stats.combined.batches_dispatched == sum(
+            s.batches_dispatched for s in stats.per_device.values()
+        )
+        assert stats.combined.commands_dispatched == sum(
+            s.commands_dispatched for s in stats.per_device.values()
+        )
+        assert len(stats.combined.batch_sizes) == stats.combined.batches_dispatched
+        # Every device actually served work under round robin.
+        assert all(s.batches_dispatched > 0 for s in stats.per_device.values())
+        # The device pool saw exactly the dispatched batches.
+        pool = server.service().pool
+        assert pool.aggregate_stats().batches_executed == stats.combined.batches_dispatched
+
+    def test_aggregate_of_nothing_is_empty(self):
+        total = aggregate_scheduler_stats([])
+        assert total.batches_dispatched == 0
+        assert total.mean_batch_size == 0.0
+
+
+class TestSingleDeviceRegression:
+    """num_devices=1 must be behavior-identical to the pre-cluster path."""
+
+    def _run_workload(self, server):
+        programs = [make_completion_program(f"p{i}", f"regression {i} ") for i in range(4)]
+        results = run_fleet(server, programs)
+        return results
+
+    def test_default_config_equals_explicit_one_device(self):
+        sim_a = Simulator(seed=7)
+        server_a = PieServer(sim_a)  # default: num_devices=1
+        results_a = self._run_workload(server_a)
+
+        sim_b = Simulator(seed=7)
+        server_b = PieServer(sim_b, num_devices=1, placement_policy="least_loaded")
+        results_b = self._run_workload(server_b)
+
+        assert [r.result for r in results_a] == [r.result for r in results_b]
+        assert [r.latency for r in results_a] == [r.latency for r in results_b]
+        stats_a = server_a.service().scheduler.stats
+        stats_b = server_b.service().scheduler.stats
+        assert stats_a.batches_dispatched == stats_b.batches_dispatched
+        assert stats_a.batch_sizes == stats_b.batch_sizes
+        assert sim_a.now == sim_b.now
+
+    def test_single_device_keeps_legacy_accessors_and_name(self):
+        sim = Simulator(seed=0)
+        server = PieServer(sim)
+        service = server.service()
+        # Shard-0 accessors alias the only shard.
+        assert service.memory is service.shards[0].memory
+        assert service.scheduler is service.shards[0].scheduler
+        assert service.resources is service.shards[0].resources
+        assert service.device.name == "gpu:llama-sim-1b"
+        assert service.num_devices == 1
+
+    def test_cluster_devices_are_numbered(self):
+        sim = Simulator(seed=0)
+        server = PieServer(sim, num_devices=2)
+        names = [shard.device.name for shard in server.service().shards]
+        assert names == ["gpu:llama-sim-1b:0", "gpu:llama-sim-1b:1"]
