@@ -17,12 +17,16 @@ def make_pie_setup(
     with_tools: bool = True,
     num_devices: Optional[int] = None,
     placement_policy: Optional[str] = None,
+    host_kv_pages: Optional[int] = None,
+    swap_policy: Optional[str] = None,
 ) -> Tuple[Simulator, PieServer]:
     """Create a simulator + Pie server + standard tool environment.
 
     ``num_devices`` / ``placement_policy`` scale the deployment out to a
     simulated multi-GPU cluster (they override the corresponding fields of
-    ``config``; see :mod:`repro.core.router`).
+    ``config``; see :mod:`repro.core.router`).  ``host_kv_pages`` /
+    ``swap_policy`` configure the tiered KV memory subsystem
+    (:mod:`repro.core.swap`).
     """
     sim = Simulator(seed=seed)
     server = PieServer(
@@ -31,6 +35,8 @@ def make_pie_setup(
         config=config,
         num_devices=num_devices,
         placement_policy=placement_policy,
+        host_kv_pages=host_kv_pages,
+        swap_policy=swap_policy,
     )
     if with_tools:
         ToolEnvironment(sim, server.external)

@@ -9,7 +9,9 @@ Three layers, as in the paper (§5):
   resource virtualisation, non-GPU API handling, the cluster router
   (:mod:`repro.core.router`) that places inferlets onto devices, the
   per-device batch scheduler (:mod:`repro.core.scheduler`,
-  :mod:`repro.core.batching`) and the event dispatcher.
+  :mod:`repro.core.batching`), the tiered-KV swap manager
+  (:mod:`repro.core.swap`) that suspends blocked inferlets to host
+  memory, and the event dispatcher.
 * **Inference layer** — the API handlers (:mod:`repro.core.handlers`)
   executing batched calls on the simulated device(s); with
   ``GpuConfig.num_devices > 1`` each device shard runs its own handler set
@@ -20,7 +22,7 @@ Three layers, as in the paper (§5):
 experiments.
 """
 
-from repro.core.config import PieConfig
+from repro.core.config import PieConfig, SWAP_POLICIES
 from repro.core.handles import Embed, KvPage, Queue
 from repro.core.command_queue import Command, CommandQueue
 from repro.core.traits import TRAITS, trait_of_api, api_layer
@@ -31,6 +33,7 @@ from repro.core.router import (
     DeviceShard,
     Router,
 )
+from repro.core.swap import SwapManager
 from repro.core.server import PieServer, PieClient, LaunchResult
 
 __all__ = [
@@ -46,9 +49,11 @@ __all__ = [
     "InferletProgram",
     "InferletInstance",
     "PLACEMENT_POLICIES",
+    "SWAP_POLICIES",
     "ClusterSchedulerStats",
     "DeviceShard",
     "Router",
+    "SwapManager",
     "PieServer",
     "PieClient",
     "LaunchResult",

@@ -124,12 +124,12 @@ class InferletContext:
     def http_get(self, url: str) -> SimFuture:
         """Perform an HTTP GET against a simulated external endpoint."""
         self._charge("http_get")
-        return self._wrap(self._controller.http_request(url, None))
+        return self._wrap(self._controller.http_request(url, None, instance=self._instance))
 
     def http_post(self, url: str, payload: Any = None) -> SimFuture:
         """Perform an HTTP POST against a simulated external endpoint."""
         self._charge("http_post")
-        return self._wrap(self._controller.http_request(url, payload))
+        return self._wrap(self._controller.http_request(url, payload, instance=self._instance))
 
     def available_models(self) -> List[str]:
         self._charge("available_models")

@@ -11,6 +11,12 @@ from repro.gpu.config import GpuConfig
 #: re-exports this as its single source of truth).
 PLACEMENT_POLICIES = ("round_robin", "least_loaded", "cache_affinity")
 
+#: Valid tiered-KV swap policies (see :mod:`repro.core.swap`): "proactive"
+#: stages the KV of inferlets blocked on external calls eagerly; "on_demand"
+#: swaps only when FCFS reclamation would otherwise terminate someone.  Both
+#: are inert unless ``GpuConfig.host_kv_pages > 0``.
+SWAP_POLICIES = ("proactive", "on_demand")
+
 
 @dataclass(frozen=True)
 class WasmRuntimeConfig:
@@ -58,8 +64,16 @@ class ControlLayerConfig:
     cross_device_transfer_base_ms: float = 0.2
     cross_device_transfer_ms_per_page: float = 0.05
     # Resource-contention policy: "fcfs" terminates the most recently
-    # created inferlets until enough resources are free.
+    # created inferlets until enough resources are free.  With a host KV
+    # tier configured (GpuConfig.host_kv_pages > 0) reclamation becomes
+    # swap-first / terminate-last: blocked inferlets are staged to host
+    # memory before anyone is killed.
     contention_policy: str = "fcfs"
+    # Tiered-KV swap policy ("proactive" | "on_demand", see SWAP_POLICIES).
+    swap_policy: str = "proactive"
+    # Minimum number of swappable pages that makes a proactive swap-out
+    # worthwhile (tiny working sets are cheaper to leave resident).
+    swap_min_pages: int = 1
     # Cluster placement policy used by the router when num_devices > 1:
     # "round_robin" | "least_loaded" | "cache_affinity" (see
     # repro.core.router; irrelevant on a single device).
@@ -99,3 +113,7 @@ class PieConfig:
             raise ReproError(
                 f"unknown placement policy {self.control.placement_policy!r}"
             )
+        if self.control.swap_policy not in SWAP_POLICIES:
+            raise ReproError(f"unknown swap policy {self.control.swap_policy!r}")
+        if self.control.swap_min_pages < 1:
+            raise ReproError("swap_min_pages must be at least 1")

@@ -29,6 +29,8 @@ from repro.core.metrics import SystemMetrics
 from repro.core.resources import ResourceManager
 from repro.core.router import ClusterSchedulerStats, DeviceShard, Router
 from repro.core.scheduler import BatchScheduler
+from repro.core.swap import SwapManager
+from repro.gpu.host_pool import HostMemoryPool
 from repro.gpu.kernels import KernelCostModel
 from repro.gpu.pool import DevicePool
 from repro.core.traits import api_layer
@@ -60,12 +62,16 @@ class ModelService:
         pool: DevicePool,
         shards: List[DeviceShard],
         router: Router,
+        host_pool: HostMemoryPool,
+        swap: SwapManager,
     ) -> None:
         self.entry = entry
         self.cost_model = cost_model
         self.pool = pool
         self.shards = shards
         self.router = router
+        self.host_pool = host_pool
+        self.swap = swap
 
     # -- shard-0 compatibility accessors ---------------------------------------
 
@@ -144,6 +150,12 @@ class Controller:
         pool = DevicePool(
             self.sim, entry.config, self.config.gpu, name_prefix=f"gpu:{entry.name}:"
         )
+        # The host KV tier is per-node: one pool shared by every device
+        # shard of this model (capacity 0 disables swapping entirely).
+        host_pool = HostMemoryPool(entry.config, self.config.gpu)
+        swap = SwapManager(
+            self.sim, host_pool, cost_model, self.config.control, self.metrics
+        )
         shards: List[DeviceShard] = []
         for index, (device, memory) in enumerate(zip(pool.devices, pool.memories)):
             if self.config.gpu.num_devices == 1:
@@ -158,7 +170,12 @@ class Controller:
                 self.config.gpu,
                 self.config.control,
             )
-            resources = ResourceManager(memory, model_name=entry.name)
+            resources = ResourceManager(
+                memory, model_name=entry.name, host_pool=host_pool
+            )
+            if swap.enabled:
+                # Admission: never dispatch commands of a suspended owner.
+                scheduler.set_dispatch_guard(swap.is_swapped)
             shards.append(
                 DeviceShard(
                     index=index,
@@ -169,14 +186,28 @@ class Controller:
                     resources=resources,
                 )
             )
-        router = Router(shards, policy=self.config.control.placement_policy)
-        return ModelService(
+        router = Router(
+            shards,
+            policy=self.config.control.placement_policy,
+            is_swapped=swap.is_swapped if swap.enabled else None,
+        )
+        service = ModelService(
             entry=entry,
             cost_model=cost_model,
             pool=pool,
             shards=shards,
             router=router,
+            host_pool=host_pool,
+            swap=swap,
         )
+        # Swap-in may itself need reclamation; route it through the same
+        # swap-first / terminate-last capacity path allocations use.
+        swap.bind_capacity_hook(
+            lambda shard, instance, n_pages: self._ensure_capacity(
+                service, shard, instance, kv_pages=n_pages
+            )
+        )
+        return service
 
     # -- services & models ----------------------------------------------------
 
@@ -219,7 +250,9 @@ class Controller:
             for queue in shard.scheduler.queues_for_owner(instance.instance_id):
                 shard.scheduler.remove_queue(queue.key)
             if shard.resources.has_space(instance.instance_id):
+                # Also discards any host-tier slots the space still holds.
                 shard.resources.destroy_space(instance.instance_id)
+            service.swap.forget(instance.instance_id)
             service.router.release(instance.instance_id)
 
     def set_terminate_hook(self, hook: Callable[[InferletInstance, str], None]) -> None:
@@ -313,23 +346,37 @@ class Controller:
         kv_pages: int = 0,
         embeds: int = 0,
     ) -> None:
-        """FCFS policy: terminate the most recently created inferlets until
-        the request fits.  If the requester itself is the most recently
-        created inferlet, it is the one terminated (first come, first
-        served).  Only inferlets placed on the contended shard are eligible
-        victims — killing one on another device would free nothing here."""
+        """Reclamation: swap-first, terminate-last.
+
+        With a host KV tier configured, pressure is first absorbed
+        non-destructively: blocked inferlets' pages are staged out to host
+        memory (the recompute-vs-transfer model in
+        :meth:`repro.core.swap.SwapManager.reclaim_by_swap` decides whether
+        a candidate is worth staging).  Only when no swap candidate remains
+        does the stock FCFS policy run: terminate the most recently created
+        inferlets until the request fits.  If the requester itself is the
+        most recently created inferlet, it is the one terminated (first
+        come, first served).  Only inferlets placed on the contended shard
+        are eligible victims — killing one on another device would free
+        nothing here."""
         if self.config.control.contention_policy != "fcfs":
             return
         while (
             shard.resources.kv_pages_free < kv_pages
             or shard.resources.embeds_free < embeds
         ):
+            if shard.resources.kv_pages_free < kv_pages and service.swap.reclaim_by_swap(
+                shard, exclude=(requester.instance_id,)
+            ):
+                continue
             victim = self._youngest_victim(service, shard)
             if victim is None:
                 raise OutOfResourcesError(
                     f"model {service.entry.name!r} ({shard.name}) cannot satisfy the "
                     f"allocation (kv={kv_pages}, emb={embeds}) even after reclamation"
                 )
+            self.metrics.reclamation_terminations += 1
+            shard.scheduler.stats.reclamation_terminations += 1
             self.terminate_inferlet(victim, reason="resource reclamation (FCFS)")
             if victim.instance_id == requester.instance_id:
                 requester.check_alive()  # raises InferletTerminated
@@ -345,7 +392,14 @@ class Controller:
         ]
         if not candidates:
             return None
-        return max(candidates, key=lambda inst: inst.created_at)
+        # Suspended inferlets occupy no device KV: terminating one frees
+        # nearly nothing, so resident inferlets are killed first.
+        resident = [
+            inst
+            for inst in candidates
+            if not service.swap.is_swapped(inst.instance_id)
+        ]
+        return max(resident or candidates, key=lambda inst: inst.created_at)
 
     def terminate_inferlet(self, instance: InferletInstance, reason: str) -> None:
         instance.mark_terminated(reason)
@@ -395,6 +449,7 @@ class Controller:
         shard = service.shard_for(instance.instance_id)
         if service.find_export_shard(name) is not None:
             raise ResourceError(f"export name {name!r} already in use")
+        self._fault_in_if_swapped(service, instance)
         shard.resources.export_kv_pages(instance.instance_id, pages, name)
 
     def import_kv_pages(
@@ -514,11 +569,20 @@ class Controller:
         )
         overhead = self.inference_call_overhead()
         queue_key = (handle.owner, handle.qid)
-        self.sim.schedule(overhead, self._deliver_command, shard, queue_key, command)
+        instance.in_air_commands += 1
+        self.sim.schedule(
+            overhead, self._deliver_command, instance, shard, queue_key, command
+        )
         return future
 
     @staticmethod
-    def _deliver_command(shard: DeviceShard, queue_key: Any, command: Command) -> None:
+    def _deliver_command(
+        instance: InferletInstance,
+        shard: DeviceShard,
+        queue_key: Any,
+        command: Command,
+    ) -> None:
+        instance.in_air_commands -= 1
         # The owning inferlet may have finished (or been terminated) between
         # issuing the call and its delivery; its queues are gone and the
         # command is dropped.  Resolving the future keeps any stray awaiters
@@ -533,8 +597,23 @@ class Controller:
 
     # -- resolution helpers used by the API bindings -------------------------------------------------------
 
+    def _fault_in_if_swapped(
+        self, service: ModelService, instance: InferletInstance
+    ) -> None:
+        """Transparent paging: restore staged pages before they are used.
+
+        An inferlet that keeps running while its pages sit in the host tier
+        (fire-and-forget external calls, or a reclamation that staged it
+        out) faults its whole set back in the moment it touches one.  The
+        restore is immediate in state; the PCIe cost lands on the device, so
+        the commands issued next queue behind the transfer."""
+        if service.swap.is_swapped(instance.instance_id):
+            service.swap.fault_in(instance)
+
     def resolve_kv(self, instance: InferletInstance, handle: Queue, pages: Sequence[KvPage]) -> List[int]:
-        shard = self.service(handle.model).shard_for(instance.instance_id)
+        service = self.service(handle.model)
+        shard = service.shard_for(instance.instance_id)
+        self._fault_in_if_swapped(service, instance)
         return shard.resources.resolve_kv_many(instance.instance_id, pages)
 
     def resolve_emb(self, instance: InferletInstance, handle: Queue, embeds: Sequence[Embed]) -> List[int]:
@@ -553,8 +632,49 @@ class Controller:
             raise ReproError("inferlet has no client channel")
         return instance.channel.receive_from_client()
 
-    def http_request(self, url: str, payload: Any = None) -> SimFuture:
-        return self.sim.create_task(self.external.request(url, payload), name=f"http:{url}")
+    def http_request(
+        self, url: str, payload: Any = None, instance: Optional[InferletInstance] = None
+    ) -> SimFuture:
+        future = self.sim.create_task(
+            self.external.request(url, payload), name=f"http:{url}"
+        )
+        if instance is None:
+            return future
+        return self._wrap_external_call(instance, future)
+
+    def _wrap_external_call(
+        self, instance: InferletInstance, inner: SimFuture
+    ) -> SimFuture:
+        """Suspend/resume hook around an external (tool) call.
+
+        While the call is in flight the inferlet is a safe swap candidate
+        (proactive policy stages it out immediately; on_demand leaves it to
+        reclamation).  Before the wrapped future resolves, any staged pages
+        are swapped back in, so the resuming coroutine always sees resident
+        pages.  With no swap-capable service (``host_kv_pages=0``) the raw
+        future is returned untouched and behaviour is bit-identical to the
+        pre-swap system."""
+        managers = [
+            (service.swap, service.router.shard_for(instance.instance_id))
+            for service in self._services.values()
+            if service.swap.enabled and service.router.is_placed(instance.instance_id)
+        ]
+        if not managers:
+            return inner
+
+        async def suspend_resume():
+            for swap, shard in managers:
+                swap.note_blocked(instance, shard)
+            try:
+                return await inner
+            finally:
+                for swap, _ in managers:
+                    swap.note_unblocked(instance)
+                    await swap.ensure_resident(instance)
+
+        return self.sim.create_task(
+            suspend_resume(), name=f"extcall:{instance.instance_id}"
+        )
 
     def broadcast(self, instance: InferletInstance, topic: str, message: Any) -> int:
         return self.bus.broadcast(topic, message, sender_id=instance.instance_id)

@@ -64,6 +64,11 @@ class InferletInstance:
         self.pending_overhead = 0.0
         self.result: Any = None
         self.created_at: float = 0.0
+        # Commands issued but not yet delivered to a shard scheduler (the
+        # per-call overhead window).  The swap manager refuses to stage an
+        # inferlet's pages while this is non-zero: such commands carry
+        # already-resolved physical page ids.
+        self.in_air_commands: int = 0
         self._terminated_reason: Optional[str] = None
 
     # -- status ---------------------------------------------------------------

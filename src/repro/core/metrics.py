@@ -66,6 +66,19 @@ class SystemMetrics:
     # Cluster-level accounting (router placements and KV-page migrations).
     placements_by_device: Dict[str, int] = field(default_factory=dict)
     cross_device_imports: int = 0
+    # FCFS reclamation outcomes: terminations destroy computed KV state,
+    # reclamation swaps stage it to the host tier instead (terminate-last).
+    reclamation_terminations: int = 0
+    reclamation_swaps: int = 0
+    # Tiered-KV swap traffic between device HBM and the host pool.
+    swap_outs: int = 0
+    swap_ins: int = 0
+    kv_pages_swapped_out: int = 0
+    kv_pages_swapped_in: int = 0
+    bytes_swapped_out: int = 0
+    bytes_swapped_in: int = 0
+    # Virtual time inferlets spent waiting on swap-in after wake-up.
+    swap_stall_seconds: float = 0.0
 
     def register(self, metrics: InferletMetrics) -> None:
         self.per_inferlet[metrics.inferlet_id] = metrics
@@ -76,6 +89,18 @@ class SystemMetrics:
         self.placements_by_device[device_name] = (
             self.placements_by_device.get(device_name, 0) + 1
         )
+
+    def record_swap_out(self, n_pages: int, n_bytes: int) -> None:
+        self.swap_outs += 1
+        self.kv_pages_swapped_out += n_pages
+        self.bytes_swapped_out += n_bytes
+
+    def record_swap_in(self, n_pages: int, n_bytes: int) -> None:
+        # Stall time is accumulated separately by the resume path, which is
+        # the only place that knows how long the inferlet actually waited.
+        self.swap_ins += 1
+        self.kv_pages_swapped_in += n_pages
+        self.bytes_swapped_in += n_bytes
 
     def get(self, inferlet_id: str) -> InferletMetrics:
         return self.per_inferlet[inferlet_id]

@@ -16,6 +16,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.errors import ResourceError
 from repro.core.handles import Embed, KvPage
+from repro.gpu.host_pool import HostMemoryPool
 from repro.gpu.memory import DeviceMemory
 
 
@@ -54,11 +55,17 @@ class ExportEntry:
 
 @dataclass
 class _Space:
-    """One inferlet's virtual address space."""
+    """One inferlet's virtual address space.
+
+    ``swapped_kv`` maps virtual page ids whose contents currently live in
+    the host-memory tier (no device page backs them) to their host slot id;
+    a vid is in exactly one of ``kv_map`` / ``swapped_kv`` at a time.
+    """
 
     owner: str
     kv_map: Dict[int, int] = field(default_factory=dict)
     emb_map: Dict[int, int] = field(default_factory=dict)
+    swapped_kv: Dict[int, int] = field(default_factory=dict)
     next_kv_vid: "itertools.count" = field(default_factory=lambda: itertools.count(1))
     next_emb_vid: "itertools.count" = field(default_factory=lambda: itertools.count(1))
 
@@ -66,9 +73,15 @@ class _Space:
 class ResourceManager:
     """Global resource pool manager + per-inferlet virtual address spaces."""
 
-    def __init__(self, memory: DeviceMemory, model_name: str = "") -> None:
+    def __init__(
+        self,
+        memory: DeviceMemory,
+        model_name: str = "",
+        host_pool: Optional[HostMemoryPool] = None,
+    ) -> None:
         self.memory = memory
         self.model_name = model_name
+        self.host_pool = host_pool
         self._spaces: Dict[str, _Space] = {}
         self._kv_refs = _RefCounter()
         self._emb_refs = _RefCounter()
@@ -89,6 +102,8 @@ class ResourceManager:
             self._release_kv(physical_id)
         for physical_id in list(space.emb_map.values()):
             self._release_emb(physical_id)
+        if space.swapped_kv:
+            self.host_pool.discard(space.swapped_kv.values())
         del self._spaces[owner]
 
     def has_space(self, owner: str) -> bool:
@@ -104,6 +119,9 @@ class ResourceManager:
 
     def kv_pages_used_by(self, owner: str) -> int:
         return len(self._space(owner).kv_map)
+
+    def kv_pages_swapped_by(self, owner: str) -> int:
+        return len(self._space(owner).swapped_kv)
 
     def embeds_used_by(self, owner: str) -> int:
         return len(self._space(owner).emb_map)
@@ -137,7 +155,13 @@ class ResourceManager:
             self._check_owner(handle.owner, owner, handle)
             physical_id = space.kv_map.pop(handle.vid, None)
             if physical_id is None:
-                raise ResourceError(f"{handle!r} is not mapped (double free?)")
+                # A page freed while swapped out never returns to the device:
+                # its host slot is simply discarded.
+                slot = space.swapped_kv.pop(handle.vid, None)
+                if slot is None:
+                    raise ResourceError(f"{handle!r} is not mapped (double free?)")
+                self.host_pool.discard([slot])
+                continue
             self._release_kv(physical_id)
 
     def resolve_kv(self, owner: str, handle: KvPage) -> int:
@@ -146,6 +170,10 @@ class ResourceManager:
         try:
             return space.kv_map[handle.vid]
         except KeyError:
+            if handle.vid in space.swapped_kv:
+                raise ResourceError(
+                    f"{handle!r} is swapped out to host memory; swap it in first"
+                ) from None
             raise ResourceError(f"{handle!r} is not mapped in {owner!r}") from None
 
     def resolve_kv_many(self, owner: str, handles: Sequence[KvPage]) -> List[int]:
@@ -191,6 +219,67 @@ class ResourceManager:
     def _release_emb(self, physical_id: int) -> None:
         if self._emb_refs.decref(physical_id):
             self.memory.embeds.free([physical_id])
+
+    # -- host-memory swap (tiered KV, see repro.core.swap) -------------------------
+
+    def swappable_kv_count(self, owner: str) -> int:
+        """Device pages of ``owner`` that can be staged to host memory.
+
+        Only *exclusively owned* pages qualify (refcount 1): pages shared
+        through export/import or forking are pinned on the device, since
+        another inferlet may read them at any time.
+        """
+        space = self._space(owner)
+        return sum(
+            1 for pid in space.kv_map.values() if self._kv_refs.count(pid) == 1
+        )
+
+    def swap_out_kv(self, owner: str) -> int:
+        """Stage every exclusively owned device page of ``owner`` to host.
+
+        Page contents are snapshotted into the host pool, the device pages
+        are freed, and the owning vids move to the space's ``swapped_kv``
+        map.  Shared pages (refcount > 1: exports, forked prefixes) are
+        pinned and stay resident.  Returns the number of pages moved — 0
+        if nothing qualifies or the host pool lacks room for the whole
+        swappable set (the swappable set moves all-or-nothing, so a fault
+        on any private page restores every private page).
+        """
+        space = self._space(owner)
+        movable = {
+            vid: pid
+            for vid, pid in space.kv_map.items()
+            if self._kv_refs.count(pid) == 1
+        }
+        if not movable or self.host_pool is None:
+            return 0
+        if self.host_pool.num_free < len(movable):
+            return 0
+        for vid, physical_id in movable.items():
+            slot = self.host_pool.store(self.memory.kv_pages.page(physical_id))
+            del space.kv_map[vid]
+            space.swapped_kv[vid] = slot
+            self._release_kv(physical_id)
+        return len(movable)
+
+    def swap_in_kv(self, owner: str) -> int:
+        """Restore every swapped page of ``owner`` onto the device.
+
+        The caller must have ensured device capacity (the controller's
+        reclamation path does); raises ``OutOfResourcesError`` otherwise.
+        Returns the number of pages restored.
+        """
+        space = self._space(owner)
+        if not space.swapped_kv:
+            return 0
+        vids = list(space.swapped_kv)
+        physical_ids = self.memory.kv_pages.allocate(len(vids))
+        for vid, physical_id in zip(vids, physical_ids):
+            slot = space.swapped_kv.pop(vid)
+            self.host_pool.load(slot, self.memory.kv_pages.page(physical_id))
+            space.kv_map[vid] = physical_id
+            self._kv_refs.incref(physical_id)
+        return len(vids)
 
     # -- export / import ----------------------------------------------------------
 

@@ -28,7 +28,7 @@ aggregate regardless of cluster size.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.errors import ReproError, SchedulingError
 from repro.core.config import PLACEMENT_POLICIES
@@ -71,9 +71,20 @@ class DeviceShard:
 
 
 class Router:
-    """Places inferlet instances onto the shards of one model service."""
+    """Places inferlet instances onto the shards of one model service.
 
-    def __init__(self, shards: Sequence[DeviceShard], policy: str = "round_robin") -> None:
+    ``is_swapped`` (installed when the tiered KV memory subsystem is
+    active, see :mod:`repro.core.swap`) reports inferlets whose pages are
+    currently staged in host memory; they occupy no device HBM and compute
+    nothing, so ``least_loaded`` placement ignores them.
+    """
+
+    def __init__(
+        self,
+        shards: Sequence[DeviceShard],
+        policy: str = "round_robin",
+        is_swapped: Optional[Callable[[str], bool]] = None,
+    ) -> None:
         if not shards:
             raise ReproError("router needs at least one shard")
         if policy not in PLACEMENT_POLICIES:
@@ -82,6 +93,7 @@ class Router:
             )
         self.shards = list(shards)
         self.policy = policy
+        self.is_swapped = is_swapped
         self._placements: Dict[str, int] = {}
         self._rr_next = 0
 
@@ -126,7 +138,9 @@ class Router:
 
     def _place_least_loaded(self) -> int:
         occupancy = {shard.index: 0 for shard in self.shards}
-        for placed_index in self._placements.values():
+        for instance_id, placed_index in self._placements.items():
+            if self.is_swapped is not None and self.is_swapped(instance_id):
+                continue  # suspended to host memory: no HBM, no compute
             occupancy[placed_index] += 1
         return min(
             self.shards,
@@ -150,6 +164,7 @@ def aggregate_scheduler_stats(stats: Sequence[SchedulerStats]) -> SchedulerStats
     for record in stats:
         total.batches_dispatched += record.batches_dispatched
         total.commands_dispatched += record.commands_dispatched
+        total.reclamation_terminations += record.reclamation_terminations
         for kind, count in record.batches_by_kind.items():
             total.batches_by_kind[kind] = total.batches_by_kind.get(kind, 0) + count
         total.batch_sizes.extend(record.batch_sizes)

@@ -17,7 +17,7 @@ Four policies are provided, matching the paper's Table 5 comparison:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.errors import SchedulingError
 from repro.core.batching import CandidateBatch, form_candidate_batches, select_longest_waiting
@@ -38,6 +38,9 @@ class SchedulerStats:
     commands_dispatched: int = 0
     batches_by_kind: Dict[str, int] = field(default_factory=dict)
     batch_sizes: List[int] = field(default_factory=list)
+    # Inferlets killed by FCFS reclamation on this shard (terminate-last
+    # under the tiered-KV policy; every kill destroys computed KV state).
+    reclamation_terminations: int = 0
 
     def record(self, batch: CandidateBatch) -> None:
         self.batches_dispatched += 1
@@ -74,7 +77,32 @@ class BatchScheduler:
         self._queues: Dict[Any, CommandQueue] = {}
         self._flush_scheduled = False
         self._adaptive_dispatch_pending = False
+        # Admission guard (tiered KV memory): owners whose pages are swapped
+        # out to the host tier must not have commands dispatched until their
+        # pages are resident again.  None = admit everyone.
+        self._dispatch_guard: Optional[Callable[[str], bool]] = None
         self.device.on_idle(self._on_device_idle)
+
+    def set_dispatch_guard(self, is_suspended: Optional[Callable[[str], bool]]) -> None:
+        """Install a predicate barring suspended owners from dispatch."""
+        self._dispatch_guard = is_suspended
+
+    def notify_resumed(self) -> None:
+        """Re-run the dispatch trigger after a suspended owner returns.
+
+        The guard may have held back the owner's pending commands; policies
+        that only dispatch on submit (``eager``) or on a one-shot timer
+        (``t_only``) need an explicit poke, since no further submit may ever
+        arrive (``adaptive`` recovers on its own via the swap-in batch's
+        idle notification)."""
+        if self.total_pending:
+            self._policy_on_submit()
+
+    def _dispatchable_queues(self) -> List[CommandQueue]:
+        queues = list(self._queues.values())
+        if self._dispatch_guard is None:
+            return queues
+        return [queue for queue in queues if not self._dispatch_guard(queue.owner)]
 
     # -- queue management ---------------------------------------------------
 
@@ -164,14 +192,14 @@ class BatchScheduler:
 
     def _dispatch_best(self) -> None:
         candidates = form_candidate_batches(
-            list(self._queues.values()), self.gpu_config.max_batch_rows
+            self._dispatchable_queues(), self.gpu_config.max_batch_rows
         )
         batch = select_longest_waiting(candidates)
         if batch is not None:
             self._dispatch(batch)
 
     def _dispatch_all_individually(self) -> None:
-        for queue in self._queues.values():
+        for queue in self._dispatchable_queues():
             while queue.pending_count:
                 run = queue.head_run(1)
                 if not run:
@@ -181,7 +209,7 @@ class BatchScheduler:
     def _dispatch_if_threshold_met(self) -> None:
         while True:
             candidates = form_candidate_batches(
-                list(self._queues.values()), self.gpu_config.max_batch_rows
+                self._dispatchable_queues(), self.gpu_config.max_batch_rows
             )
             eligible = {
                 kind: batch
@@ -212,7 +240,7 @@ class BatchScheduler:
         now = self.sim.now
         deadline = milliseconds(self.config.t_timeout_ms)
         candidates = form_candidate_batches(
-            list(self._queues.values()), self.gpu_config.max_batch_rows
+            self._dispatchable_queues(), self.gpu_config.max_batch_rows
         )
         ripe = {
             kind: batch

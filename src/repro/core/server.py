@@ -49,16 +49,27 @@ class PieServer:
         external: Optional[ExternalServices] = None,
         num_devices: Optional[int] = None,
         placement_policy: Optional[str] = None,
+        host_kv_pages: Optional[int] = None,
+        swap_policy: Optional[str] = None,
     ) -> None:
         self.sim = sim
         config = config or PieConfig()
-        # Cluster knobs: shorthand overrides so callers don't have to rebuild
-        # the nested frozen config just to scale out.
+        # Cluster / memory-tier knobs: shorthand overrides so callers don't
+        # have to rebuild the nested frozen config just to scale out or
+        # enable host-memory KV swapping.
         if num_devices is not None:
             config = replace(config, gpu=replace(config.gpu, num_devices=num_devices))
         if placement_policy is not None:
             config = replace(
                 config, control=replace(config.control, placement_policy=placement_policy)
+            )
+        if host_kv_pages is not None:
+            config = replace(
+                config, gpu=replace(config.gpu, host_kv_pages=host_kv_pages)
+            )
+        if swap_policy is not None:
+            config = replace(
+                config, control=replace(config.control, swap_policy=swap_policy)
             )
         self.config = config
         registry = ModelRegistry(models or ["llama-sim-1b"])

@@ -1,0 +1,317 @@
+"""The swap manager: suspend/resume of inferlet KV state over a host tier.
+
+Pie's motivating agent workloads hold KV pages while blocked on external
+tool calls — computing nothing, yet occupying the scarcest resource on the
+node.  The stock contention policy (FCFS termination,
+:meth:`repro.core.controller.Controller._ensure_capacity`) responds to the
+resulting pressure *destructively*: it kills the youngest inferlet and
+throws its computed state away.
+
+The :class:`SwapManager` adds a second, non-destructive tier
+(:class:`repro.gpu.host_pool.HostMemoryPool`):
+
+* **Proactive suspend** — when an inferlet blocks on an external call
+  (``http_get`` / ``http_post``), its exclusively owned KV pages are staged
+  to host memory over PCIe, freeing device HBM for runnable inferlets
+  (``swap_policy="proactive"``).
+* **Resume before reschedule** — when the external call resolves, the pages
+  are restored (and the PCIe transfer paid) *before* the inferlet's
+  coroutine resumes, so commands it issues afterwards always see resident
+  pages.  The wait is recorded as swap stall time.
+* **Swap-first / terminate-last reclamation** — when an allocation cannot
+  be satisfied, the controller first asks the swap manager to stage a
+  blocked inferlet's pages to host; only when no candidate remains (or the
+  recompute-vs-transfer model says killing is cheaper) does FCFS
+  termination run.
+
+Safety rule: pages may only leave the device while their owner has no
+pending, in-flight, or in-the-air commands — otherwise an already resolved
+physical page id could be executed against a freed (and reallocated) page.
+Inferlets that keep issuing work *during* an external call (fire-and-forget
+tool calls) are therefore never proactively swapped; if reclamation staged
+them out anyway, the first command that resolves one of their pages faults
+the whole set back in (:meth:`SwapManager.fault_in`).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.core.config import ControlLayerConfig
+from repro.core.metrics import SystemMetrics
+from repro.gpu.host_pool import HostMemoryPool
+from repro.gpu.kernels import ForwardRow, KernelCostModel
+from repro.sim.futures import SimFuture
+from repro.sim.simulator import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.inferlet import InferletInstance
+    from repro.core.router import DeviceShard
+
+
+class SwapManager:
+    """Policy layer over one model service's host-memory KV tier."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host_pool: HostMemoryPool,
+        cost_model: KernelCostModel,
+        control_config: ControlLayerConfig,
+        metrics: SystemMetrics,
+    ) -> None:
+        self.sim = sim
+        self.host_pool = host_pool
+        self.cost_model = cost_model
+        self.config = control_config
+        self.metrics = metrics
+        # Inferlets currently blocked on at least one external call (the
+        # safe-to-swap candidates; the int counts overlapping calls, so a
+        # fire-and-forget caller with several in flight stays registered
+        # until the last one resolves) and inferlets whose pages are
+        # currently on host.
+        self._blocked: Dict[str, List] = {}  # owner -> [instance, shard, depth]
+        self._swapped: Dict[str, Tuple["InferletInstance", "DeviceShard"]] = {}
+        # Installed by the controller once the service exists: ensures device
+        # capacity for a swap-in, reclaiming (swap-first, then FCFS) if needed.
+        self._ensure_capacity: Optional[
+            Callable[["DeviceShard", "InferletInstance", int], None]
+        ] = None
+
+    def bind_capacity_hook(
+        self, hook: Callable[["DeviceShard", "InferletInstance", int], None]
+    ) -> None:
+        self._ensure_capacity = hook
+
+    # -- state queries -----------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        return self.host_pool.enabled
+
+    def is_swapped(self, instance_id: str) -> bool:
+        return instance_id in self._swapped
+
+    def is_blocked(self, instance_id: str) -> bool:
+        return instance_id in self._blocked
+
+    @property
+    def num_swapped(self) -> int:
+        return len(self._swapped)
+
+    # -- blocked-inferlet tracking (driven by the controller's I/O wrapper) --
+
+    #: Retry delay while issued commands are still in their delivery window.
+    _IN_AIR_RETRY_SECONDS = 50e-6
+    #: Bound on proactive retries per blocked period (fire-and-forget
+    #: inferlets keep issuing work and are never safe to stage).
+    _MAX_PROACTIVE_ATTEMPTS = 16
+
+    def note_blocked(self, instance: "InferletInstance", shard: "DeviceShard") -> None:
+        """An inferlet started waiting on an external call on ``shard``."""
+        if not self.enabled:
+            return
+        entry = self._blocked.get(instance.instance_id)
+        if entry is not None:
+            entry[2] += 1
+        else:
+            self._blocked[instance.instance_id] = [instance, shard, 1]
+        if self.config.swap_policy == "proactive":
+            self._try_proactive(instance, shard, attempts_left=self._MAX_PROACTIVE_ATTEMPTS)
+
+    def _try_proactive(
+        self, instance: "InferletInstance", shard: "DeviceShard", attempts_left: int
+    ) -> None:
+        """Stage a blocked inferlet out as soon as it becomes safe.
+
+        At the moment an inferlet blocks, its last few commands are usually
+        still pending or in their delivery window, so an immediate swap-out
+        would free pages those commands reference.  Instead of giving up,
+        the attempt re-arms on the retirement of the outstanding work (a
+        queue barrier) and on delivery of in-the-air commands (a short
+        timer), and fires once the pipeline drains — typically a few
+        milliseconds into a tool call that lasts tens."""
+        owner = instance.instance_id
+        if owner not in self._blocked or attempts_left <= 0:
+            return
+        if self.swap_out(instance, shard):
+            return
+        if instance.finished or not shard.resources.has_space(owner):
+            return
+        retry = lambda *_: self._try_proactive(instance, shard, attempts_left - 1)
+        if instance.in_air_commands > 0:
+            self.sim.schedule(self._IN_AIR_RETRY_SECONDS, retry)
+            return
+        for queue in shard.scheduler.queues_for_owner(owner):
+            if queue.pending_count or queue.inflight_count:
+                barrier = self.sim.create_future(name=f"swap-drain:{owner}")
+                queue.synchronize(barrier)
+                barrier.add_done_callback(retry)
+                return
+        # Nothing outstanding and the swap still failed: the refusal is
+        # structural (too few swappable pages, host pool full) — stop.
+
+    def note_unblocked(self, instance: "InferletInstance") -> None:
+        """One external call resolved; deregister once the last one does."""
+        entry = self._blocked.get(instance.instance_id)
+        if entry is None:
+            return
+        entry[2] -= 1
+        if entry[2] <= 0:
+            del self._blocked[instance.instance_id]
+
+    def forget(self, instance_id: str) -> None:
+        """Drop all bookkeeping for an unregistered inferlet.
+
+        Host slots it still held are discarded by
+        ``ResourceManager.destroy_space``; only the registries live here.
+        """
+        self._blocked.pop(instance_id, None)
+        self._swapped.pop(instance_id, None)
+
+    # -- swap-out ----------------------------------------------------------
+
+    def _safe_to_swap(self, instance: "InferletInstance", shard: "DeviceShard") -> bool:
+        """No command anywhere in flight may reference the owner's pages."""
+        if instance.finished or self.is_swapped(instance.instance_id):
+            return False
+        if not shard.resources.has_space(instance.instance_id):
+            return False
+        if instance.in_air_commands > 0:
+            return False
+        return not any(
+            queue.pending_count or queue.inflight_count
+            for queue in shard.scheduler.queues_for_owner(instance.instance_id)
+        )
+
+    def swap_out(self, instance: "InferletInstance", shard: "DeviceShard") -> int:
+        """Stage an inferlet's exclusively owned pages to host memory.
+
+        Returns the number of device pages freed (0 if the move was unsafe,
+        below ``swap_min_pages``, or the host pool lacks room).  The PCIe
+        transfer occupies the device like any other batch, so the copy's
+        bandwidth cost is visible to co-located inferlets.
+        """
+        if not self.enabled or not self._safe_to_swap(instance, shard):
+            return 0
+        owner = instance.instance_id
+        if shard.resources.swappable_kv_count(owner) < self.config.swap_min_pages:
+            return 0
+        moved = shard.resources.swap_out_kv(owner)
+        if not moved:
+            return 0
+        self._swapped[owner] = (instance, shard)
+        self.metrics.record_swap_out(moved, self.host_pool.transfer_bytes(moved))
+        shard.device.submit(
+            kind="swap_out",
+            run=lambda: None,
+            cost_seconds=self.host_pool.transfer_seconds(moved),
+            size=moved,
+        )
+        return moved
+
+    # -- swap-in -----------------------------------------------------------
+
+    def fault_in(self, instance: "InferletInstance") -> Optional[SimFuture]:
+        """Restore a swapped inferlet's pages onto its device *now*.
+
+        State is restored synchronously (commands issued afterwards resolve
+        correctly); the PCIe cost is charged as a device batch, so work
+        queued behind it waits for the transfer.  Returns the transfer
+        future (awaited by the resume path to account stall time), or None
+        if the inferlet is not swapped.
+        """
+        entry = self._swapped.get(instance.instance_id)
+        if entry is None:
+            return None
+        _, shard = entry
+        owner = instance.instance_id
+        if not shard.resources.has_space(owner):
+            self._swapped.pop(owner, None)
+            return None
+        n_pages = shard.resources.kv_pages_swapped_by(owner)
+        if n_pages == 0:
+            self._swapped.pop(owner, None)
+            return None
+        if (
+            shard.resources.kv_pages_free < n_pages
+            and self._ensure_capacity is not None
+        ):
+            # May reclaim (swap-first, terminate-last) or raise; the
+            # instance stays marked swapped until the restore succeeds.
+            self._ensure_capacity(shard, instance, n_pages)
+        restored = shard.resources.swap_in_kv(owner)
+        self._swapped.pop(owner, None)
+        self.metrics.record_swap_in(restored, self.host_pool.transfer_bytes(restored))
+        future = shard.device.submit(
+            kind="swap_in",
+            run=lambda: None,
+            cost_seconds=self.host_pool.transfer_seconds(restored),
+            size=restored,
+        )
+        # Commands the owner issued while suspended were held back by the
+        # dispatch guard; re-trigger the policy now that the pages are home.
+        shard.scheduler.notify_resumed()
+        return future
+
+    async def ensure_resident(self, instance: "InferletInstance") -> None:
+        """Resume path: restore pages and wait out the transfer (stall time)."""
+        if not self.is_swapped(instance.instance_id):
+            return
+        started = self.sim.now
+        future = self.fault_in(instance)
+        if future is not None:
+            await future
+            self.metrics.swap_stall_seconds += self.sim.now - started
+
+    # -- swap-first reclamation -------------------------------------------
+
+    def _swap_beats_recompute(self, n_pages: int) -> bool:
+        """Recompute-vs-transfer: is staging out+in cheaper than a re-prefill?
+
+        Termination throws the victim's KV away; recovering the same state
+        costs a prefill over every cached token.  Swapping costs one PCIe
+        round trip.  Pages are staged only when the transfer is the cheaper
+        side (for realistic page counts it virtually always is — the guard
+        matters when PCIe terms are configured adversarially).
+        """
+        round_trip = 2.0 * self.host_pool.transfer_seconds(n_pages)
+        tokens = n_pages * self.host_pool.model_config.kv_page_size
+        recompute = self.cost_model.forward_batch_cost(
+            [ForwardRow(n_input_tokens=tokens)]
+        )
+        return round_trip < recompute
+
+    def reclaim_by_swap(
+        self, shard: "DeviceShard", exclude: Iterable[str] = ()
+    ) -> int:
+        """Free device pages by staging one blocked inferlet out to host.
+
+        Candidates are inferlets blocked on external calls *on this shard*
+        whose pages can move safely and pass the recompute-vs-transfer
+        test; the one freeing the most pages goes first.  Returns the
+        number of pages freed (0 when reclamation must fall back to FCFS
+        termination).
+        """
+        if not self.enabled:
+            return 0
+        excluded: Set[str] = set(exclude)
+        best: Optional[Tuple[int, "InferletInstance"]] = None
+        for owner, (instance, blocked_shard, _depth) in self._blocked.items():
+            if owner in excluded or blocked_shard is not shard:
+                continue
+            if not self._safe_to_swap(instance, shard):
+                continue
+            n_pages = shard.resources.swappable_kv_count(owner)
+            if n_pages == 0 or n_pages > self.host_pool.num_free:
+                continue
+            if not self._swap_beats_recompute(n_pages):
+                continue
+            if best is None or n_pages > best[0]:
+                best = (n_pages, instance)
+        if best is None:
+            return 0
+        moved = self.swap_out(best[1], shard)
+        if moved:
+            self.metrics.reclamation_swaps += 1
+        return moved

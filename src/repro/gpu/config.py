@@ -19,6 +19,15 @@ class GpuConfig:
     memory pools of the capacities below (they are per-device, not shared),
     its own batch scheduler, and its own busy/idle notification channel.
     The default of 1 reproduces the paper's single-L4 deployment exactly.
+
+    ``host_kv_pages`` sizes the *host-memory* KV tier shared by every device
+    of the node (:class:`repro.gpu.host_pool.HostMemoryPool`): KV pages of
+    inferlets blocked on external calls can be staged there over PCIe and
+    restored on wake-up, instead of being destroyed by FCFS reclamation.
+    The default of 0 disables the tier entirely (exact pre-swap behaviour).
+    The ``pcie_*`` terms model the host<->device transfer cost the same way
+    :mod:`repro.gpu.kernels` models kernel costs: a fixed per-transfer setup
+    plus a per-page term.
     """
 
     num_kv_pages: int = 4096
@@ -27,6 +36,9 @@ class GpuConfig:
     max_batch_tokens: int = 8192
     name: str = "sim-l4"
     num_devices: int = 1
+    host_kv_pages: int = 0
+    pcie_transfer_base_ms: float = 0.05
+    pcie_transfer_ms_per_page: float = 0.02
 
     def __post_init__(self) -> None:
         if self.num_kv_pages <= 0:
@@ -39,3 +51,7 @@ class GpuConfig:
             raise ReproError("max_batch_rows must be positive")
         if self.max_batch_tokens <= 0:
             raise ReproError("max_batch_tokens must be positive")
+        if self.host_kv_pages < 0:
+            raise ReproError("host_kv_pages must be non-negative")
+        if self.pcie_transfer_base_ms < 0 or self.pcie_transfer_ms_per_page < 0:
+            raise ReproError("PCIe transfer cost terms must be non-negative")

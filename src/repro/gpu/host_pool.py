@@ -1,0 +1,149 @@
+"""The host-memory KV tier: a per-node staging pool for swapped pages.
+
+Device HBM is the scarce resource of the serving node; host DRAM is one to
+two orders of magnitude larger.  Following "Pie: Pooling CPU Memory for LLM
+Inference" (PAPERS.md), a :class:`HostMemoryPool` lets the control layer
+*swap* the KV pages of suspended inferlets — agents blocked on external
+tool calls hold pages for tens of milliseconds while computing nothing —
+out to host memory and restore them on wake-up, instead of destroying them
+through FCFS termination.
+
+The pool is deliberately dumb hardware: it stores page snapshots and
+models the PCIe transfer cost (:class:`PcieCostModel`, the same
+fixed-plus-linear cost-term style as :class:`repro.gpu.kernels.KernelCostModel`).
+*Which* pages move, and when, is a control-layer policy decision
+(:mod:`repro.core.swap`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+from repro.errors import ResourceError
+from repro.gpu.config import GpuConfig
+from repro.gpu.memory import PhysicalKvPage, _Pool
+from repro.model.config import ModelConfig
+from repro.sim.latency import milliseconds
+
+
+def kv_page_bytes(model_config: ModelConfig) -> int:
+    """Bytes of K/V state held by one physical page (fp32 in this repo)."""
+    per_slot = 2 * model_config.n_layers * model_config.n_kv_heads * model_config.d_head
+    return model_config.kv_page_size * per_slot * 4
+
+
+class PcieCostModel:
+    """Host<->device transfer cost: a per-transfer setup plus a per-page term.
+
+    Mirrors the :mod:`repro.gpu.kernels` style — fixed launch cost plus a
+    linear size term, all parameters in milliseconds — so experiments stay
+    interpretable.  One cost covers one direction; a full suspend/resume
+    cycle pays it twice (swap-out + swap-in).
+    """
+
+    def __init__(self, gpu_config: GpuConfig) -> None:
+        self.base_ms = gpu_config.pcie_transfer_base_ms
+        self.per_page_ms = gpu_config.pcie_transfer_ms_per_page
+
+    def transfer_cost(self, n_pages: int) -> float:
+        """Seconds to move ``n_pages`` across PCIe in one direction."""
+        if n_pages <= 0:
+            return 0.0
+        return milliseconds(self.base_ms + self.per_page_ms * n_pages)
+
+
+class _HostPageCopy:
+    """A point-in-time snapshot of one device KV page, resident in host DRAM."""
+
+    __slots__ = ("keys", "values", "positions", "valid", "visible")
+
+    def __init__(self, page: PhysicalKvPage) -> None:
+        self.keys = [layer.copy() for layer in page.keys]
+        self.values = [layer.copy() for layer in page.values]
+        self.positions = page.positions.copy()
+        self.valid = page.valid.copy()
+        self.visible = page.visible.copy()
+
+    def restore_into(self, page: PhysicalKvPage) -> None:
+        for layer in range(len(page.keys)):
+            page.keys[layer][:] = self.keys[layer]
+            page.values[layer][:] = self.values[layer]
+        page.positions[:] = self.positions
+        page.valid[:] = self.valid
+        page.visible[:] = self.visible
+
+
+class HostMemoryPool:
+    """``host_kv_pages`` page-sized slots of host DRAM shared by the node.
+
+    The pool is shared by every device shard of the node: a page swapped
+    out from any device lands here, and capacity is first-come first-served
+    across shards.  A capacity of 0 (the default) disables the tier.
+    """
+
+    def __init__(self, model_config: ModelConfig, gpu_config: GpuConfig) -> None:
+        self.model_config = model_config
+        self.gpu_config = gpu_config
+        self.pcie = PcieCostModel(gpu_config)
+        self.page_bytes = kv_page_bytes(model_config)
+        self._pool = _Pool(gpu_config.host_kv_pages, "host kv slot")
+        self._slots: Dict[int, _HostPageCopy] = {}
+
+    # -- capacity ----------------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        return self._pool.capacity > 0
+
+    @property
+    def capacity(self) -> int:
+        return self._pool.capacity
+
+    @property
+    def num_free(self) -> int:
+        return self._pool.num_free
+
+    @property
+    def num_used(self) -> int:
+        return self._pool.num_allocated
+
+    # -- staging -----------------------------------------------------------
+
+    def store(self, page: PhysicalKvPage) -> int:
+        """Snapshot a device page into a fresh host slot; returns the slot id."""
+        slot = self._pool.allocate(1)[0]
+        self._slots[slot] = _HostPageCopy(page)
+        return slot
+
+    def load(self, slot: int, dst_page: PhysicalKvPage) -> None:
+        """Restore a host slot into a device page and release the slot."""
+        copy = self._slots.pop(slot, None)
+        if copy is None:
+            raise ResourceError(f"host kv slot {slot} holds no page")
+        copy.restore_into(dst_page)
+        self._pool.free([slot])
+
+    def discard(self, slots: Iterable[int]) -> None:
+        """Drop host slots without restoring them (owner terminated/freed).
+
+        Atomic like ``_Pool.free``: the whole batch (including duplicates
+        within it) is validated before any slot is released."""
+        slots = list(slots)
+        self._pool.free(slots)  # validates double-free/unknown/dupes first
+        for slot in slots:
+            del self._slots[slot]
+
+    def peek(self, slot: int) -> _HostPageCopy:
+        try:
+            return self._slots[slot]
+        except KeyError:
+            raise ResourceError(f"host kv slot {slot} holds no page") from None
+
+    # -- cost model --------------------------------------------------------
+
+    def transfer_seconds(self, n_pages: int) -> float:
+        """One-directional PCIe cost for ``n_pages`` (see :class:`PcieCostModel`)."""
+        return self.pcie.transfer_cost(n_pages)
+
+    def transfer_bytes(self, n_pages: int) -> int:
+        return n_pages * self.page_bytes

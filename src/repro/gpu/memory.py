@@ -121,9 +121,20 @@ class _Pool:
         return ids
 
     def free(self, ids: Iterable[int]) -> None:
-        for item in ids:
-            if item not in self._allocated:
+        """Return ids to the free list.
+
+        The whole batch is validated *before* any id is released, so a
+        double free / unknown id / duplicate within the batch raises without
+        mutating the pool (a partially applied free would corrupt the free
+        list, which swap churn would then silently hand out twice).
+        """
+        items = list(ids)
+        seen: set = set()
+        for item in items:
+            if item in seen or item not in self._allocated:
                 raise ResourceError(f"double free or unknown {self.kind} id {item}")
+            seen.add(item)
+        for item in items:
             self._allocated.remove(item)
             self._free.append(item)
 

@@ -135,6 +135,39 @@ class TestKvPageStore:
         assert store.num_free == 32
 
 
+class TestPoolFreeHardening:
+    """_Pool.free must reject bad batches atomically (swap churn makes a
+    silently corrupted free list a live failure mode)."""
+
+    def test_double_free_raises(self, memory):
+        ids = memory.kv_pages.allocate(2)
+        memory.kv_pages.free(ids)
+        with pytest.raises(ResourceError, match="double free or unknown"):
+            memory.kv_pages.free([ids[0]])
+
+    def test_unknown_id_raises(self, memory):
+        with pytest.raises(ResourceError, match="double free or unknown"):
+            memory.kv_pages.free([12345])
+
+    def test_duplicate_within_batch_raises(self, memory):
+        [pid] = memory.kv_pages.allocate(1)
+        with pytest.raises(ResourceError, match="double free or unknown"):
+            memory.kv_pages.free([pid, pid])
+
+    def test_failed_free_leaves_pool_untouched(self, memory):
+        ids = memory.kv_pages.allocate(3)
+        free_before = memory.kv_pages.num_free
+        # A batch that is partially valid must not be partially applied:
+        # the valid prefix stays allocated when the bad tail raises.
+        with pytest.raises(ResourceError):
+            memory.kv_pages.free([ids[0], ids[1], 99999])
+        assert memory.kv_pages.num_free == free_before
+        assert memory.kv_pages.num_allocated == 3
+        # The ids are still allocated and can be freed cleanly afterwards.
+        memory.kv_pages.free(ids)
+        assert memory.kv_pages.num_allocated == 0
+
+
 class TestEmbedStore:
     def test_write_read_roundtrip(self, memory, config):
         ids = memory.embeds.allocate(2)
