@@ -34,6 +34,7 @@ from repro.core.router import (
     Router,
 )
 from repro.core.swap import SwapManager
+from repro.core.prefix_cache import PrefixCacheService
 from repro.core.server import PieServer, PieClient, LaunchResult
 
 __all__ = [
@@ -54,6 +55,7 @@ __all__ = [
     "DeviceShard",
     "Router",
     "SwapManager",
+    "PrefixCacheService",
     "PieServer",
     "PieClient",
     "LaunchResult",

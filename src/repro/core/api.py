@@ -102,6 +102,7 @@ class InferletContext:
             return future
         return self._sim.create_task(self._awaited(future), name="api-call")
 
+
     # ------------------------------------------------------------------
     # Control-layer APIs (24): runtime management, messaging, I/O
     # ------------------------------------------------------------------
@@ -261,7 +262,7 @@ class InferletContext:
         """Token-level copy of KV-cache contents between pages."""
         self._charge("copy_kvpage")
         src_pid = self._controller.resolve_kv(self._instance, queue, [src])[0]
-        dst_pid = self._controller.resolve_kv(self._instance, queue, [dst])[0]
+        dst_pid = self._controller.prepare_kv_mutation(self._instance, queue, dst)
         payload = {
             "src": src_pid,
             "dst": dst_pid,
@@ -282,6 +283,9 @@ class InferletContext:
         self._charge("copy_emb")
         src_ids = self._controller.resolve_emb(self._instance, queue, list(src))
         dst_ids = self._controller.resolve_emb(self._instance, queue, list(dst))
+        cache = self._controller.prefix_cache_probe(self._instance, queue)
+        if cache is not None:
+            cache.forget_embeds(dst_ids)  # copied hidden states, not a token
         return self._controller.submit_command(
             self._instance,
             queue,
@@ -294,7 +298,7 @@ class InferletContext:
     def clear_kvpage(self, queue: Queue, page: KvPage) -> SimFuture:
         """Reset a KV page to its unwritten state (keeps the allocation)."""
         self._charge("clear_kvpage")
-        pid = self._controller.resolve_kv(self._instance, queue, [page])[0]
+        pid = self._controller.prepare_kv_mutation(self._instance, queue, page)
         return self._controller.submit_command(
             self._instance,
             queue,
@@ -354,10 +358,30 @@ class InferletContext:
     ) -> SimFuture:
         if not iemb:
             raise ReproError("forward requires at least one input embedding")
+        finish = None
+        cache = self._controller.prefix_cache_for_forward(self._instance, queue)
+        if cache is not None:
+            # A cached page-aligned prompt prefix is adopted in place of the
+            # caller's fresh pages and the matching input embeddings are
+            # dropped — their prefill compute is skipped entirely.  The
+            # finish hook registers pages this forward fills completely.
+            iemb, finish = cache.begin_forward(
+                self._instance.instance_id,
+                list(ikv),
+                list(iemb),
+                list(okv),
+                list(oemb),
+                mask,
+                adapter,
+                okv_offset,
+            )
         ikv_ids = self._controller.resolve_kv(self._instance, queue, list(ikv))
         iemb_ids = self._controller.resolve_emb(self._instance, queue, list(iemb))
         okv_ids = self._controller.resolve_kv(self._instance, queue, list(okv))
         oemb_ids = self._controller.resolve_emb(self._instance, queue, list(oemb))
+        if cache is not None and oemb_ids:
+            # Output slots now hold hidden states, not embedded tokens.
+            cache.forget_embeds(oemb_ids)
         payload = {
             "ikv": ikv_ids,
             "iemb": iemb_ids,
@@ -374,7 +398,7 @@ class InferletContext:
         writes = frozenset(
             [("kv", pid) for pid in okv_ids] + [("emb", eid) for eid in oemb_ids]
         )
-        return self._controller.submit_command(
+        future = self._controller.submit_command(
             self._instance,
             queue,
             "forward",
@@ -385,12 +409,15 @@ class InferletContext:
             reads=reads,
             writes=writes,
         )
+        if finish is not None:
+            future.add_done_callback(finish)
+        return future
 
     def mask_kvpage(self, queue: Queue, page: KvPage, mask: Sequence[bool]) -> SimFuture:
         """Token-level visibility mask over one KV page."""
         self._charge("mask_kvpage")
         self._check_trait(queue, "mask_kvpage")
-        pid = self._controller.resolve_kv(self._instance, queue, [page])[0]
+        pid = self._controller.prepare_kv_mutation(self._instance, queue, page)
         return self._controller.submit_command(
             self._instance,
             queue,
@@ -414,6 +441,9 @@ class InferletContext:
         slot_ids = self._controller.resolve_emb(self._instance, queue, list(embeds))
         if not (len(token_ids) == len(positions) == len(slot_ids)):
             raise ReproError("embed_txt: token/position/embed counts must match")
+        cache = self._controller.prefix_cache_probe(self._instance, queue)
+        if cache is not None:
+            cache.record_embeds(slot_ids, list(token_ids), list(positions))
         return self._controller.submit_command(
             self._instance,
             queue,
@@ -443,6 +473,9 @@ class InferletContext:
         slot_ids = self._controller.resolve_emb(self._instance, queue, list(embeds))
         if positions is None:
             positions = list(range(len(slot_ids)))
+        cache = self._controller.prefix_cache_probe(self._instance, queue)
+        if cache is not None:
+            cache.forget_embeds(slot_ids)  # image content has no token identity
         return self._controller.submit_command(
             self._instance,
             queue,

@@ -108,6 +108,18 @@ class CommandQueue:
             self._pending.popleft()
             self._inflight += 1
 
+    def drain_pending(self) -> List[Command]:
+        """Remove and return every still-pending command (queue teardown)."""
+        drained = list(self._pending)
+        self._pending.clear()
+        return drained
+
+    def drain_barriers(self) -> List[SimFuture]:
+        """Remove and return every synchronize barrier (queue teardown)."""
+        drained = [entry[1] for entry in self._barrier_futures]
+        self._barrier_futures = []
+        return drained
+
     def mark_completed(self, count: int = 1) -> None:
         self._inflight -= count
         self._completed += count

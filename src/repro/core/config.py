@@ -78,6 +78,17 @@ class ControlLayerConfig:
     # "round_robin" | "least_loaded" | "cache_affinity" (see
     # repro.core.router; irrelevant on a single device).
     placement_policy: str = "round_robin"
+    # System-wide automatic prefix caching (repro.core.prefix_cache): when
+    # True, each device shard keeps a token-addressed radix index over
+    # committed KV pages and forwards with a matching page-aligned prompt
+    # prefix transparently reuse them instead of recomputing.  Off by
+    # default — the serving path is then bit-identical to the pre-cache
+    # system.
+    prefix_cache: bool = False
+    # Bound on device-resident pages the prefix cache may pin per shard
+    # (LRU leaves are evicted beyond it); 0 means unbounded, leaving
+    # eviction/demotion to the memory-pressure reclamation ladder.
+    prefix_cache_max_pages: int = 0
 
 
 @dataclass(frozen=True)
@@ -117,3 +128,5 @@ class PieConfig:
             raise ReproError(f"unknown swap policy {self.control.swap_policy!r}")
         if self.control.swap_min_pages < 1:
             raise ReproError("swap_min_pages must be at least 1")
+        if self.control.prefix_cache_max_pages < 0:
+            raise ReproError("prefix_cache_max_pages must be non-negative")

@@ -26,6 +26,7 @@ from repro.core.handlers import ApiHandlers
 from repro.core.inferlet import InferletInstance
 from repro.core.messaging import ExternalServices, MessageBus
 from repro.core.metrics import SystemMetrics
+from repro.core.prefix_cache import PrefixCacheService
 from repro.core.resources import ResourceManager
 from repro.core.router import ClusterSchedulerStats, DeviceShard, Router
 from repro.core.scheduler import BatchScheduler
@@ -176,16 +177,25 @@ class Controller:
             if swap.enabled:
                 # Admission: never dispatch commands of a suspended owner.
                 scheduler.set_dispatch_guard(swap.is_swapped)
-            shards.append(
-                DeviceShard(
-                    index=index,
-                    device=device,
-                    memory=memory,
-                    handlers=handlers,
-                    scheduler=scheduler,
-                    resources=resources,
-                )
+            shard = DeviceShard(
+                index=index,
+                device=device,
+                memory=memory,
+                handlers=handlers,
+                scheduler=scheduler,
+                resources=resources,
             )
+            if self.config.control.prefix_cache:
+                shard.prefix_cache = PrefixCacheService(
+                    resources=resources,
+                    memory=memory,
+                    host_pool=host_pool,
+                    device=device,
+                    metrics=self.metrics,
+                    config=self.config.control,
+                )
+                resources.set_kv_free_listener(shard.prefix_cache.on_physical_freed)
+            shards.append(shard)
         router = Router(
             shards,
             policy=self.config.control.placement_policy,
@@ -235,8 +245,20 @@ class Controller:
         self._instances[instance.instance_id] = instance
         self.metrics.register(instance.metrics)
         for service in self._services.values():
+            prefix_hint = instance.program.prefix_hint
+            prefix_tokens = None
+            # Only cache_affinity placement reads the hint; skip the
+            # tokenizer work under the other policies.
+            if prefix_hint is not None and service.router.policy == "cache_affinity":
+                prefix_tokens = (
+                    service.entry.tokenizer.encode(prefix_hint)
+                    if isinstance(prefix_hint, str)
+                    else list(prefix_hint)
+                )
             shard = service.router.place(
-                instance.instance_id, hint=instance.program.placement_hint
+                instance.instance_id,
+                hint=instance.program.placement_hint,
+                prefix_tokens=prefix_tokens,
             )
             shard.resources.create_space(instance.instance_id)
             self.metrics.record_placement(shard.name)
@@ -336,7 +358,13 @@ class Controller:
         service = self.service(handle.model)
         shard = service.shard_for(instance.instance_id)
         self._ensure_capacity(service, shard, instance, embeds=count)
-        return shard.resources.alloc_embeds(instance.instance_id, count)
+        handles = shard.resources.alloc_embeds(instance.instance_id, count)
+        if shard.prefix_cache is not None:
+            # Reused slots may carry a previous owner's token identity.
+            shard.prefix_cache.forget_embeds(
+                shard.resources.resolve_emb_many(instance.instance_id, handles)
+            )
+        return handles
 
     def _ensure_capacity(
         self,
@@ -367,6 +395,12 @@ class Controller:
         ):
             if shard.resources.kv_pages_free < kv_pages and service.swap.reclaim_by_swap(
                 shard, exclude=(requester.instance_id,)
+            ):
+                continue
+            # Second rung: demote (or evict) the prefix cache's coldest
+            # entries before any live inferlet is terminated.
+            if shard.resources.kv_pages_free < kv_pages and service.swap.reclaim_by_cache(
+                shard
             ):
                 continue
             victim = self._youngest_victim(service, shard)
@@ -567,6 +601,25 @@ class Controller:
             reads=reads,
             writes=writes,
         )
+        if kind == "forward":
+            # Counted at completion so commands dropped in the delivery
+            # window or at queue teardown (they resolve to None without
+            # executing) never inflate the processed-token account.
+            def count_forward(fut, tokens=input_tokens):
+                if fut.exception() is None and fut.result() is not None:
+                    self.metrics.forward_input_tokens += tokens
+
+            future.add_done_callback(count_forward)
+        cache = shard.prefix_cache
+        if cache is not None and cache.enabled:
+            # Track which physical pages in-flight commands reference, so
+            # the cache never rebinds a page a command could still observe.
+            kv_pids = [rid for tag, rid in (reads | writes) if tag == "kv"]
+            if kv_pids:
+                cache.note_busy(kv_pids)
+                future.add_done_callback(
+                    lambda _f, c=cache, p=kv_pids: c.release_busy(p)
+                )
         overhead = self.inference_call_overhead()
         queue_key = (handle.owner, handle.qid)
         instance.in_air_commands += 1
@@ -594,6 +647,63 @@ class Controller:
                 command.future.set_result(None)
             return
         shard.scheduler.submit(queue_key, command)
+
+    # -- automatic prefix cache accessors ------------------------------------------------------------------
+
+    def prefix_cache_probe(
+        self, instance: InferletInstance, handle: Queue
+    ) -> Optional[PrefixCacheService]:
+        """The shard's prefix cache, or None when the knob is off."""
+        shard = self.service(handle.model).shard_for(instance.instance_id)
+        cache = shard.prefix_cache
+        if cache is None or not cache.enabled:
+            return None
+        return cache
+
+    def prepare_kv_mutation(
+        self, instance: InferletInstance, handle: Queue, page: KvPage
+    ) -> int:
+        """Resolve a page about to be mutated by mask/clear/copy.
+
+        With the prefix cache on, a page it aliased into several address
+        spaces must not be mutated in place — that would silently change
+        every other holder's context.  Such a page is first unshared
+        (copy-on-write: the mutator gets a private copy, the device is
+        charged one page copy) and the resulting page is tainted so the
+        cache never registers it.  Pages shared only through
+        export/import keep their stock in-place mutation semantics — the
+        application opted into that aliasing.
+        """
+        service = self.service(handle.model)
+        shard = service.shard_for(instance.instance_id)
+        pid = self.resolve_kv(instance, handle, [page])[0]
+        cache = shard.prefix_cache
+        if cache is None or not cache.enabled:
+            return pid
+        if shard.resources.kv_refcount(pid) > 1 and cache.is_cache_shared(pid):
+            self._ensure_capacity(service, shard, instance, kv_pages=1)
+            pid = shard.resources.materialize_private_kv(instance.instance_id, page)
+            shard.device.submit(
+                kind="cache_cow",
+                run=lambda: None,
+                cost_seconds=service.cost_model.copy_batch_cost(1),
+                size=1,
+            )
+        cache.invalidate_pid(pid)
+        return pid
+
+    def prefix_cache_for_forward(
+        self, instance: InferletInstance, handle: Queue
+    ) -> Optional[PrefixCacheService]:
+        """Like :meth:`prefix_cache_probe`, but restores swapped pages first
+        so the cache can resolve the owner's context pages."""
+        service = self.service(handle.model)
+        shard = service.shard_for(instance.instance_id)
+        cache = shard.prefix_cache
+        if cache is None or not cache.enabled:
+            return None
+        self._fault_in_if_swapped(service, instance)
+        return cache
 
     # -- resolution helpers used by the API bindings -------------------------------------------------------
 

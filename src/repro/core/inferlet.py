@@ -38,6 +38,11 @@ class InferletProgram:
     # to import, so the ``cache_affinity`` router policy can co-locate it
     # with the pages (see repro.core.router).
     placement_hint: Optional[str] = None
+    # Prompt-prefix hint for the automatic prefix cache: the text (or
+    # token sequence) this program's prompt starts with.  Under the
+    # ``cache_affinity`` policy the router places the inferlet on the
+    # shard whose prefix-cache index holds the longest page-aligned match.
+    prefix_hint: Optional[object] = None  # str | Sequence[int]
 
     def __post_init__(self) -> None:
         if not callable(self.main):

@@ -79,6 +79,23 @@ class SystemMetrics:
     bytes_swapped_in: int = 0
     # Virtual time inferlets spent waiting on swap-in after wake-up.
     swap_stall_seconds: float = 0.0
+    # Input tokens actually processed by forward commands (prefill +
+    # decode); with the prefix cache on, saved tokens never reach here.
+    forward_input_tokens: int = 0
+    # Automatic prefix cache (repro.core.prefix_cache): hit/miss counts
+    # per matchable forward, prefill tokens skipped via reuse, pages
+    # adopted into the index, LRU evictions, demotions to the host tier
+    # and PCIe-charged fault-ins of demoted entries.
+    prefix_cache_hits: int = 0
+    prefix_cache_misses: int = 0
+    prefix_cache_saved_tokens: int = 0
+    prefix_cache_inserted_pages: int = 0
+    prefix_cache_evictions: int = 0
+    prefix_cache_demotions: int = 0
+    prefix_cache_faultins: int = 0
+    # Device pages freed for allocations by demoting/evicting cache
+    # entries (the swap manager's reclamation ladder, terminate-last).
+    prefix_cache_reclaims: int = 0
 
     def register(self, metrics: InferletMetrics) -> None:
         self.per_inferlet[metrics.inferlet_id] = metrics

@@ -1,0 +1,562 @@
+"""System-wide automatic prefix caching: token-addressed KV reuse.
+
+Pie's export/import API gives *applications* control over prefix sharing,
+but the headline optimisation of monolithic engines — automatic reuse of
+KV state for common prompt prefixes (vLLM's hash-chained blocks, SGLang's
+RadixAttention; both reproduced in :mod:`repro.baselines`) — has no Pie
+counterpart in the paper.  The :class:`PrefixCacheService` closes that gap
+inside the control layer, per device shard:
+
+* a **token-addressed radix index** (a generalisation of
+  :class:`repro.baselines.radix_tree.RadixTree`) maps page-aligned token
+  chains to *committed* physical KV pages;
+* when a tracked ``forward`` fills a page completely, the page is
+  registered under its token chain and **pinned** through the shard's
+  :class:`~repro.core.resources.ResourceManager` refcounts, so it survives
+  its producer's exit and can never be double-freed;
+* a later ``forward`` whose prompt shares a cached page-aligned prefix is
+  transparently rewritten: the caller's freshly allocated pages are
+  *rebound* to the cached physical pages and the matching input embeddings
+  are dropped from the command, skipping their prefill compute entirely;
+* under memory pressure the :class:`~repro.core.swap.SwapManager` asks the
+  cache to **demote** its coldest leaf to the host tier (or evict it),
+  before any live inferlet is terminated; a demoted entry faults back in
+  on its next hit, paying the PCIe cost.
+
+Everything here is inert unless ``ControlLayerConfig.prefix_cache`` is
+True: with the knob off the service is never constructed and the serving
+path is bit-identical to the pre-cache system.
+
+Safety rules (mirroring the swap manager's):
+
+* a caller page is only rebound to a cached page when it is *fresh* —
+  refcount 1, no token written, not referenced by any issued-but-unretired
+  command — so no in-flight command can observe the old physical id;
+* cached pages are shared read-only, exactly like export/import aliases:
+  ``mask_kvpage`` / ``clear_kvpage`` / ``copy_kvpage`` against a tracked
+  page invalidate its whole subtree;
+* registration happens only when the producing ``forward`` has *executed*
+  (its future resolved without error), so a hit never aliases a page whose
+  contents are still pending.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ResourceError
+from repro.core.config import ControlLayerConfig
+from repro.core.metrics import SystemMetrics
+from repro.gpu.host_pool import HostMemoryPool
+from repro.gpu.memory import DeviceMemory
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.handles import Embed, KvPage
+    from repro.core.resources import ResourceManager
+    from repro.gpu.device import SimDevice
+    from repro.sim.futures import SimFuture
+
+
+@dataclass
+class PrefixNode:
+    """One page worth of tokens in the radix index.
+
+    A node is *device-resident* (``pid`` set, the physical page pinned via
+    the resource manager) or *demoted* (``host_slot`` set, contents parked
+    in the host pool); never both.
+    """
+
+    tokens: Tuple[int, ...] = ()
+    pid: Optional[int] = None
+    host_slot: Optional[int] = None
+    parent: Optional["PrefixNode"] = None
+    children: Dict[int, "PrefixNode"] = field(default_factory=dict)
+    last_used: float = 0.0
+    seq: int = 0
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+
+class PrefixCacheService:
+    """Per-shard automatic prefix cache over committed KV pages."""
+
+    def __init__(
+        self,
+        resources: "ResourceManager",
+        memory: DeviceMemory,
+        host_pool: HostMemoryPool,
+        device: "SimDevice",
+        metrics: SystemMetrics,
+        config: ControlLayerConfig,
+    ) -> None:
+        self.resources = resources
+        self.memory = memory
+        self.host_pool = host_pool
+        self.device = device
+        self.metrics = metrics
+        self.config = config
+        self.page_size = memory.model_config.kv_page_size
+        self._root = PrefixNode()
+        self._by_pid: Dict[int, PrefixNode] = {}
+        # tokens currently held by a physical page, in slot order (tracked
+        # producer pages and cache-resident pages alike).
+        self._page_tokens: Dict[int, List[int]] = {}
+        # token identity of written embedding slots: slot -> (token, position)
+        self._emb_tokens: Dict[int, Tuple[int, int]] = {}
+        # physical KV pages referenced by issued-but-unretired commands.
+        self._busy_pids: Dict[int, int] = {}
+        # pages mutated by mask/clear/copy since allocation: never (re)
+        # registered, since their contents no longer follow token
+        # addressing.  Cleared when the physical page returns to the pool.
+        self._tainted: set = set()
+        # pages the cache aliased into some address space via rebind: these
+        # (unlike export/import shares the application opted into) must be
+        # unshared copy-on-write before a mutation.  Persists past node
+        # eviction — importers may still share the page — and clears when
+        # the physical page returns to the pool.
+        self._cache_shared: set = set()
+        self._clock = 0.0
+        self._seq = 0
+
+    # -- basic state -------------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        return self.config.prefix_cache
+
+    def cached_pages(self) -> int:
+        """Device-resident pages currently owned by the index."""
+        return len(self._by_pid)
+
+    def demoted_pages(self) -> int:
+        count = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            stack.extend(node.children.values())
+            if node.host_slot is not None:
+                count += 1
+        return count
+
+    def _tick(self) -> float:
+        self._clock += 1.0
+        return self._clock
+
+    def _touch(self, node: PrefixNode) -> None:
+        node.last_used = self._tick()
+
+    # -- embedding-token tracking (driven by the API bindings) -------------
+
+    def record_embeds(
+        self, slot_ids: Sequence[int], tokens: Sequence[int], positions: Sequence[int]
+    ) -> None:
+        """``embed_txt`` wrote these tokens into these slots."""
+        for slot, token, position in zip(slot_ids, tokens, positions):
+            self._emb_tokens[slot] = (int(token), int(position))
+
+    def forget_embeds(self, slot_ids: Sequence[int]) -> None:
+        """Slots were reallocated or overwritten with non-token content."""
+        for slot in slot_ids:
+            self._emb_tokens.pop(slot, None)
+
+    # -- busy-page tracking (driven by the controller's command path) ------
+
+    def note_busy(self, pids: Sequence[int]) -> None:
+        for pid in pids:
+            self._busy_pids[pid] = self._busy_pids.get(pid, 0) + 1
+
+    def release_busy(self, pids: Sequence[int]) -> None:
+        for pid in pids:
+            count = self._busy_pids.get(pid, 0) - 1
+            if count <= 0:
+                self._busy_pids.pop(pid, None)
+            else:
+                self._busy_pids[pid] = count
+
+    # -- invalidation ------------------------------------------------------
+
+    def invalidate_pid(self, pid: int) -> None:
+        """A page is about to be mutated: drop its subtree and taint it.
+
+        The taint matters because a mutation can be *issued* before the
+        page's producing forward has completed (queue barriers resolve
+        early while commands are in their delivery window); the completion
+        hook must then refuse to register the page.
+        """
+        self._page_tokens.pop(pid, None)
+        self._tainted.add(pid)
+        node = self._by_pid.get(pid)
+        if node is not None:
+            self._drop_subtree(node)
+
+    def on_physical_freed(self, pid: int) -> None:
+        """Resource-manager callback: a physical page returned to the pool."""
+        self._page_tokens.pop(pid, None)
+        self._tainted.discard(pid)
+        self._cache_shared.discard(pid)
+
+    def is_cache_shared(self, pid: int) -> bool:
+        """Is this page aliased by (or pinned in) the cache — as opposed to
+        shared only through application-controlled export/import?"""
+        return pid in self._by_pid or pid in self._cache_shared
+
+    def _drop_subtree(self, node: PrefixNode) -> None:
+        for child in list(node.children.values()):
+            self._drop_subtree(child)
+        self._detach(node)
+        self.metrics.prefix_cache_evictions += 1
+
+    def _detach(self, node: PrefixNode) -> None:
+        """Release a (now childless) node's page and unlink it from the tree."""
+        if node.pid is not None:
+            self._by_pid.pop(node.pid, None)
+            self.resources.unpin_kv(node.pid)
+            node.pid = None
+        if node.host_slot is not None:
+            self.host_pool.discard([node.host_slot])
+            node.host_slot = None
+        if node.parent is not None and node.tokens:
+            current = node.parent.children.get(node.tokens[0])
+            if current is node:
+                del node.parent.children[node.tokens[0]]
+        node.parent = None
+
+    # -- lookup ------------------------------------------------------------
+
+    def _match_path(self, tokens: Sequence[int]) -> List[PrefixNode]:
+        """Radix walk: nodes covering the longest cached page-aligned prefix."""
+        node = self._root
+        path: List[PrefixNode] = []
+        size = self.page_size
+        for index in range(len(tokens) // size):
+            chunk = tuple(tokens[index * size : (index + 1) * size])
+            child = node.children.get(chunk[0])
+            if child is None or child.tokens != chunk:
+                break
+            path.append(child)
+            node = child
+        return path
+
+    def match_len(self, tokens: Sequence[int]) -> int:
+        """Cached page-aligned prefix length, in tokens (read-only probe)."""
+        return len(self._match_path(tokens)) * self.page_size
+
+    # -- the forward interception path -------------------------------------
+
+    def begin_forward(
+        self,
+        owner: str,
+        ikv: List["KvPage"],
+        iemb: List["Embed"],
+        okv: List["KvPage"],
+        oemb: List["Embed"],
+        mask: object,
+        adapter: Optional[str],
+        okv_offset: Optional[int],
+    ) -> Tuple[List["Embed"], Optional[Callable[["SimFuture"], None]]]:
+        """Rewrite a ``forward`` against the cache.
+
+        Returns the (possibly trimmed) input-embedding list plus a
+        completion hook that registers newly committed full pages; either
+        may be the originals / None when the call is not cacheable (masked
+        attention, adapters, explicit write offsets, unknown token
+        identities, non-contiguous layouts).
+        """
+        if mask is not None or adapter is not None or okv_offset is not None:
+            return iemb, None
+        if not iemb:
+            return iemb, None
+        try:
+            ikv_pids = self.resources.resolve_kv_many(owner, ikv)
+            iemb_ids = self.resources.resolve_emb_many(owner, iemb)
+        except ResourceError:
+            return iemb, None
+
+        new_tokens: List[int] = []
+        for slot in iemb_ids:
+            record = self._emb_tokens.get(slot)
+            if record is None:
+                return iemb, None
+            new_tokens.append(record[0])
+
+        existing = self._existing_chain(ikv_pids)
+        if existing is None:
+            return iemb, None
+        # The new tokens must extend the chain contiguously.
+        for index, slot in enumerate(iemb_ids):
+            if self._emb_tokens[slot][1] != len(existing) + index:
+                return iemb, None
+
+        chain = existing + new_tokens
+        finish = self._make_finish(owner, list(ikv), chain)
+
+        size = self.page_size
+        full_existing, remainder = divmod(len(existing), size)
+        # Leave at least one (and every requested output-hidden) token for
+        # the real forward; matches are page-aligned extensions only.
+        max_new_pages = (len(new_tokens) - max(1, len(oemb))) // size
+        if remainder != 0 or max_new_pages < 1:
+            return iemb, finish
+
+        path = self._match_path(chain)
+        usable = path[full_existing : full_existing + max_new_pages]
+        used = self._adopt(owner, ikv, ikv_pids, okv, full_existing, usable)
+        if used == 0:
+            self.metrics.prefix_cache_misses += 1
+            return iemb, finish
+        saved = used * size
+        self.metrics.prefix_cache_hits += 1
+        self.metrics.prefix_cache_saved_tokens += saved
+        return iemb[saved:], finish
+
+    def _existing_chain(self, ikv_pids: Sequence[int]) -> Optional[List[int]]:
+        """Token chain already committed across the context pages, in order.
+
+        Requires the conventional layout — full pages, then at most one
+        partial page, then empty pages; any page holding tokens the tracker
+        cannot account for makes the chain unknown (returns None).
+        """
+        chain: List[int] = []
+        saw_partial = False
+        for pid in ikv_pids:
+            if pid in self._tainted:
+                return None
+            tokens = self._page_tokens.get(pid)
+            count = len(tokens) if tokens else 0
+            if count != self.memory.kv_pages.page(pid).num_valid:
+                return None
+            if count == 0:
+                saw_partial = True  # only empties may follow
+                continue
+            if saw_partial:
+                return None
+            if count < self.page_size:
+                saw_partial = True
+            chain.extend(tokens)
+        return chain
+
+    def _adopt(
+        self,
+        owner: str,
+        ikv: List["KvPage"],
+        ikv_pids: List[int],
+        okv: List["KvPage"],
+        full_existing: int,
+        usable: List[PrefixNode],
+    ) -> int:
+        """Rebind the caller's fresh pages to the cached path; returns pages."""
+        used = 0
+        faulted = 0
+        for offset, node in enumerate(usable):
+            index = full_existing + offset
+            if index >= len(ikv):
+                break
+            # The adopted page must be the next *output* page too, so the
+            # forward handler's auto-offset write lands after the reused
+            # prefix (the support library's fill() layout).
+            if offset >= len(okv) or okv[offset].vid != ikv[index].vid:
+                break
+            handle = ikv[index]
+            old_pid = ikv_pids[index]
+            if node.pid == old_pid:
+                self._touch(node)
+                used += 1
+                continue
+            if not self._fresh(old_pid):
+                break
+            if node.pid is not None:
+                self.resources.rebind_kv(owner, handle, node.pid)
+                self._page_tokens[node.pid] = list(node.tokens)
+                self._cache_shared.add(node.pid)
+            else:
+                # Demoted entry: fault the host copy into the caller's own
+                # fresh page and promote the node back to device residency.
+                self.host_pool.load(node.host_slot, self.memory.kv_pages.page(old_pid))
+                node.host_slot = None
+                node.pid = old_pid
+                self.resources.pin_kv(old_pid)
+                self._by_pid[old_pid] = node
+                self._page_tokens[old_pid] = list(node.tokens)
+                faulted += 1
+            self._touch(node)
+            used += 1
+        if faulted:
+            self.metrics.prefix_cache_faultins += faulted
+            self.device.submit(
+                kind="cache_fault_in",
+                run=lambda: None,
+                cost_seconds=self.host_pool.transfer_seconds(faulted),
+                size=faulted,
+            )
+        return used
+
+    def _fresh(self, pid: int) -> bool:
+        """A page safe to rebind away from: untouched and unobserved."""
+        return (
+            self.resources.kv_refcount(pid) == 1
+            and pid not in self._by_pid
+            and pid not in self._busy_pids
+            and pid not in self._tainted
+            and self.memory.kv_pages.page(pid).num_valid == 0
+        )
+
+    # -- registration (runs when the producing forward completes) ----------
+
+    def _make_finish(
+        self, owner: str, ikv: List["KvPage"], chain: List[int]
+    ) -> Callable[["SimFuture"], None]:
+        def finish(future: "SimFuture") -> None:
+            if future.exception() is not None:
+                return
+            if not self.resources.has_space(owner):
+                return
+            try:
+                pids = self.resources.resolve_kv_many(owner, ikv)
+            except ResourceError:
+                return
+            self._commit_chain(pids, chain)
+
+        return finish
+
+    def _commit_chain(self, pids: List[int], chain: List[int]) -> None:
+        """Record per-page tokens and register every completed full page."""
+        size = self.page_size
+        # The tokens tracked before this forward must be a prefix of the
+        # chain it was issued with (full pages, then at most one partial);
+        # any interleaved mutation shows up as a mismatch and aborts.
+        recorded: List[int] = []
+        saw_partial = False
+        for pid in pids:
+            tokens = self._page_tokens.get(pid) or []
+            if not tokens:
+                saw_partial = True
+                continue
+            if saw_partial:
+                return
+            if len(tokens) < size:
+                saw_partial = True
+            recorded.extend(tokens)
+        if recorded != chain[: len(recorded)]:
+            return
+        for index, pid in enumerate(pids):
+            chunk = chain[index * size : (index + 1) * size]
+            if not chunk:
+                break
+            if pid in self._tainted:
+                return
+            # A pipelined later forward may have committed further tokens
+            # already; fewer than expected means the write never landed.
+            if self.memory.kv_pages.page(pid).num_valid < len(chunk):
+                return
+            self._page_tokens[pid] = list(chunk)
+        node = self._root
+        for index in range(len(chain) // size):
+            chunk = tuple(chain[index * size : (index + 1) * size])
+            child = node.children.get(chunk[0])
+            if child is not None and child.tokens == chunk:
+                node = child
+                continue
+            if child is not None or index >= len(pids):
+                break
+            pid = pids[index]
+            if pid in self._by_pid or self._page_tokens.get(pid) != list(chunk):
+                break
+            self._seq += 1
+            child = PrefixNode(
+                tokens=chunk,
+                pid=pid,
+                parent=node,
+                last_used=self._tick(),
+                seq=self._seq,
+            )
+            node.children[chunk[0]] = child
+            self._by_pid[pid] = child
+            self.resources.pin_kv(pid)
+            self.metrics.prefix_cache_inserted_pages += 1
+            node = child
+        self._enforce_capacity()
+
+    def _enforce_capacity(self) -> None:
+        limit = self.config.prefix_cache_max_pages
+        while limit and len(self._by_pid) > limit:
+            if not self._evict_lru_leaf(demote=False, require_free=False):
+                break
+
+    # -- eviction / demotion (the memory-pressure ladder) -------------------
+
+    def _reclaim_candidates(self) -> List[PrefixNode]:
+        """Device-resident nodes with no resident descendants, coldest first.
+
+        These are the tree's "resident fringe": demoting one keeps the
+        chain intact (its subtree is already on host), and dropping one
+        only discards already-demoted descendants — never a resident page.
+        """
+        candidates: List[PrefixNode] = []
+
+        def visit(node: PrefixNode) -> bool:
+            resident_below = False
+            for child in node.children.values():
+                resident_below |= visit(child)
+            if node is self._root:
+                return resident_below
+            resident = node.pid is not None
+            if resident and not resident_below:
+                candidates.append(node)
+            return resident or resident_below
+
+        visit(self._root)
+        candidates.sort(key=lambda n: (n.last_used, n.seq))
+        return candidates
+
+    def _evict_lru_leaf(self, demote: bool, require_free: bool = True) -> int:
+        """Drop (or demote) the coldest fringe node; returns pages freed.
+
+        With ``require_free`` (the memory-pressure ladder) nodes whose
+        page is shared with live importers are skipped — dropping them
+        frees nothing; capacity enforcement passes False and sheds the
+        cache's claim regardless.
+        """
+        for leaf in self._reclaim_candidates():
+            shared = self.resources.kv_refcount(leaf.pid) > 1
+            if shared and require_free:
+                continue  # importers keep the page resident; freeing helps nobody
+            if not shared and leaf.pid in self._busy_pids:
+                # Freeing the page would let it be reallocated under an
+                # issued-but-unretired command that still references it.
+                continue
+            if not shared and demote and self.host_pool.enabled and self.host_pool.num_free > 0:
+                pid = leaf.pid
+                slot = self.host_pool.store(self.memory.kv_pages.page(pid))
+                leaf.host_slot = slot
+                leaf.pid = None
+                self._by_pid.pop(pid, None)
+                self.resources.unpin_kv(pid)  # frees the device page
+                self.metrics.prefix_cache_demotions += 1
+                self.device.submit(
+                    kind="cache_demote",
+                    run=lambda: None,
+                    cost_seconds=self.host_pool.transfer_seconds(1),
+                    size=1,
+                )
+                return 1
+            # Dropping the node takes its (all-demoted) subtree with it.
+            self._drop_subtree(leaf)
+            return 1
+        return 0
+
+    def reclaim_one(self) -> int:
+        """Free one device page for the swap manager's reclamation ladder.
+
+        Demotes the coldest sole-reference leaf to the host tier when it
+        has room (PCIe charged), evicting outright otherwise.  Returns the
+        number of device pages freed (0 when the cache has nothing cold).
+        """
+        return self._evict_lru_leaf(demote=True)
+
+    def drop_all(self) -> None:
+        """Release every cache entry (teardown / tests)."""
+        for child in list(self._root.children.values()):
+            self._drop_subtree(child)

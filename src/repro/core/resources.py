@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.errors import ResourceError
 from repro.core.handles import Embed, KvPage
@@ -87,6 +87,10 @@ class ResourceManager:
         self._emb_refs = _RefCounter()
         self._exports: Dict[str, ExportEntry] = {}
         self.page_size = memory.model_config.kv_page_size
+        # Invoked with the physical id whenever a KV page's last reference
+        # is dropped and the page returns to the pool (prefix-cache
+        # bookkeeping hook; None when no one listens).
+        self._kv_free_listener: Optional[Callable[[int], None]] = None
 
     # -- address space lifecycle -------------------------------------------
 
@@ -182,6 +186,66 @@ class ResourceManager:
     def _release_kv(self, physical_id: int) -> None:
         if self._kv_refs.decref(physical_id):
             self.memory.kv_pages.free([physical_id])
+            if self._kv_free_listener is not None:
+                self._kv_free_listener(physical_id)
+
+    # -- physical-page sharing hooks (prefix cache) -----------------------------
+
+    def set_kv_free_listener(self, listener: Optional[Callable[[int], None]]) -> None:
+        self._kv_free_listener = listener
+
+    def kv_refcount(self, physical_id: int) -> int:
+        return self._kv_refs.count(physical_id)
+
+    def pin_kv(self, physical_id: int) -> None:
+        """Take a reference on a physical page (it must be allocated)."""
+        self.memory.kv_pages.page(physical_id)  # raises ResourceError if unallocated
+        self._kv_refs.incref(physical_id)
+
+    def unpin_kv(self, physical_id: int) -> None:
+        """Drop a reference taken with :meth:`pin_kv` (may free the page)."""
+        self._release_kv(physical_id)
+
+    def rebind_kv(self, owner: str, handle: KvPage, new_pid: int) -> None:
+        """Point a virtual page at a different physical page.
+
+        The prefix-cache import path: the owner's freshly allocated page is
+        released and the handle aliases the cached page instead.  Reference
+        counts move atomically — the new page is pinned before the old one
+        is dropped, so a crash between the two cannot double-free.
+        """
+        space = self._space(owner)
+        self._check_owner(handle.owner, owner, handle)
+        old_pid = space.kv_map.get(handle.vid)
+        if old_pid is None:
+            raise ResourceError(f"{handle!r} is not device-resident; cannot rebind")
+        if old_pid == new_pid:
+            return
+        self._kv_refs.incref(new_pid)
+        space.kv_map[handle.vid] = new_pid
+        self._release_kv(old_pid)
+
+    def materialize_private_kv(self, owner: str, handle: KvPage) -> int:
+        """Copy-on-write: give ``handle`` its own physical page.
+
+        The current contents are copied into a freshly allocated page, the
+        handle is remapped to it, and the shared page loses this owner's
+        reference (the cache / other importers keep theirs).  Returns the
+        new physical id; the caller must have ensured device capacity.
+        """
+        space = self._space(owner)
+        self._check_owner(handle.owner, owner, handle)
+        old_pid = space.kv_map.get(handle.vid)
+        if old_pid is None:
+            raise ResourceError(f"{handle!r} is not device-resident; cannot unshare")
+        [new_pid] = self.memory.kv_pages.allocate(1)
+        self.memory.kv_pages.page(new_pid).copy_page_from(
+            self.memory.kv_pages.page(old_pid)
+        )
+        self._kv_refs.incref(new_pid)
+        space.kv_map[handle.vid] = new_pid
+        self._release_kv(old_pid)
+        return new_pid
 
     # -- embeddings ----------------------------------------------------------------
 

@@ -28,7 +28,7 @@ aggregate regardless of cluster size.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
 
 from repro.errors import ReproError, SchedulingError
 from repro.core.config import PLACEMENT_POLICIES
@@ -37,6 +37,9 @@ from repro.core.resources import ResourceManager
 from repro.core.scheduler import BatchScheduler, SchedulerStats
 from repro.gpu.device import SimDevice
 from repro.gpu.memory import DeviceMemory
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.prefix_cache import PrefixCacheService
 
 __all__ = [
     "PLACEMENT_POLICIES",
@@ -57,6 +60,9 @@ class DeviceShard:
     handlers: ApiHandlers
     scheduler: BatchScheduler
     resources: ResourceManager
+    # The shard's automatic prefix cache; None unless
+    # ControlLayerConfig.prefix_cache is enabled.
+    prefix_cache: Optional["PrefixCacheService"] = None
 
     @property
     def name(self) -> str:
@@ -99,7 +105,12 @@ class Router:
 
     # -- placement -------------------------------------------------------------
 
-    def place(self, instance_id: str, hint: Optional[str] = None) -> DeviceShard:
+    def place(
+        self,
+        instance_id: str,
+        hint: Optional[str] = None,
+        prefix_tokens: Optional[Sequence[int]] = None,
+    ) -> DeviceShard:
         """Assign an inferlet to a shard; idempotent per instance."""
         if instance_id in self._placements:
             return self.shards[self._placements[instance_id]]
@@ -108,7 +119,7 @@ class Router:
         elif self.policy == "least_loaded":
             index = self._place_least_loaded()
         else:
-            index = self._place_cache_affinity(hint)
+            index = self._place_cache_affinity(hint, prefix_tokens)
         self._placements[instance_id] = index
         return self.shards[index]
 
@@ -136,18 +147,24 @@ class Router:
         self._rr_next += 1
         return index
 
-    def _place_least_loaded(self) -> int:
+    def _place_least_loaded(self, restrict: Optional[Sequence[int]] = None) -> int:
         occupancy = {shard.index: 0 for shard in self.shards}
         for instance_id, placed_index in self._placements.items():
             if self.is_swapped is not None and self.is_swapped(instance_id):
                 continue  # suspended to host memory: no HBM, no compute
             occupancy[placed_index] += 1
+        eligible = self.shards
+        if restrict is not None:
+            allowed = set(restrict)
+            eligible = [shard for shard in self.shards if shard.index in allowed]
         return min(
-            self.shards,
+            eligible,
             key=lambda shard: (occupancy[shard.index], shard.pending_work, shard.index),
         ).index
 
-    def _place_cache_affinity(self, hint: Optional[str]) -> int:
+    def _place_cache_affinity(
+        self, hint: Optional[str], prefix_tokens: Optional[Sequence[int]]
+    ) -> int:
         # Exact export-name match only: fuzzy (prefix) matching would let one
         # generic export name capture every hinted inferlet and create a
         # hotspot the least_loaded fallback is meant to prevent.
@@ -155,6 +172,28 @@ class Router:
             for shard in self.shards:
                 if shard.resources.has_export(hint):
                     return shard.index
+        # With the automatic prefix cache on, a declared prompt prefix
+        # (InferletProgram.prefix_hint) is scored by longest page-aligned
+        # match against each shard's index; the winner gets the inferlet so
+        # its prefill reuses the cached pages locally.  Several shards tied
+        # at the best score are split least_loaded-style (replicated
+        # prompts must not pack one shard); no match at all falls through
+        # to the plain least_loaded policy.
+        if prefix_tokens:
+            scores = {}
+            for shard in self.shards:
+                cache = shard.prefix_cache
+                if cache is None or not cache.enabled:
+                    continue
+                matched = cache.match_len(prefix_tokens)
+                if matched > 0:
+                    scores[shard.index] = matched
+            if scores:
+                best = max(scores.values())
+                tied = [index for index, score in scores.items() if score == best]
+                if len(tied) == 1:
+                    return tied[0]
+                return self._place_least_loaded(restrict=tied)
         return self._place_least_loaded()
 
 

@@ -120,7 +120,20 @@ class BatchScheduler:
             raise SchedulingError(f"unknown command queue {key!r}") from None
 
     def remove_queue(self, key: Any) -> None:
-        self._queues.pop(key, None)
+        queue = self._queues.pop(key, None)
+        if queue is None:
+            return
+        # Commands still pending when their queue disappears (owner exited
+        # or was terminated) are dropped, exactly like commands caught in
+        # the delivery window: resolving their futures — and any barrier
+        # waiting on them — keeps awaiters and bookkeeping hooked on
+        # completion from hanging forever.
+        for command in queue.drain_pending():
+            if not command.future.done():
+                command.future.set_result(None)
+        for barrier in queue.drain_barriers():
+            if not barrier.done():
+                barrier.set_result(None)
 
     def set_priority(self, key: Any, priority: int) -> None:
         self.get_queue(key).priority = priority

@@ -51,6 +51,7 @@ class PieServer:
         placement_policy: Optional[str] = None,
         host_kv_pages: Optional[int] = None,
         swap_policy: Optional[str] = None,
+        prefix_cache: Optional[bool] = None,
     ) -> None:
         self.sim = sim
         config = config or PieConfig()
@@ -70,6 +71,10 @@ class PieServer:
         if swap_policy is not None:
             config = replace(
                 config, control=replace(config.control, swap_policy=swap_policy)
+            )
+        if prefix_cache is not None:
+            config = replace(
+                config, control=replace(config.control, prefix_cache=prefix_cache)
             )
         self.config = config
         registry = ModelRegistry(models or ["llama-sim-1b"])

@@ -315,3 +315,21 @@ class SwapManager:
         if moved:
             self.metrics.reclamation_swaps += 1
         return moved
+
+    def reclaim_by_cache(self, shard: "DeviceShard") -> int:
+        """Free device pages by demoting/evicting cold prefix-cache entries.
+
+        The middle rung of the reclamation ladder: after blocked inferlets
+        have been staged out and before anyone is terminated, the shard's
+        automatic prefix cache gives up its coldest LRU leaf — demoted to
+        the host tier when it has room (PCIe charged), dropped outright
+        otherwise.  Works without the host tier too (``enabled`` is about
+        the swap path, not the cache).  Returns device pages freed.
+        """
+        cache = shard.prefix_cache
+        if cache is None or not cache.enabled:
+            return 0
+        freed = cache.reclaim_one()
+        if freed:
+            self.metrics.prefix_cache_reclaims += freed
+        return freed

@@ -1,0 +1,26 @@
+"""Meta-test: tests/ and benchmarks/ must not share file basenames.
+
+Neither directory has an ``__init__.py``, so pytest imports their files as
+top-level modules by basename.  A duplicated basename (for example
+``tests/test_prefix_cache.py`` next to ``benchmarks/test_prefix_cache.py``)
+makes collection fail with an import-mismatch error — but only when both
+directories are collected together, which is exactly how the tier-1 suite
+runs.  Catch it here with a pointed message instead.
+"""
+
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def test_no_basename_shared_between_tests_and_benchmarks():
+    tests = {p.name for p in (REPO_ROOT / "tests").glob("*.py")}
+    benchmarks = {p.name for p in (REPO_ROOT / "benchmarks").glob("*.py")}
+    shared = (tests & benchmarks) - {"conftest.py"}
+    assert not shared, (
+        f"basename(s) {sorted(shared)} exist in BOTH tests/ and benchmarks/. "
+        "Neither directory is a package, so pytest imports test files as "
+        "top-level modules by basename; duplicates break collection of the "
+        "combined tier-1 run (PYTHONPATH=src python -m pytest). Rename one "
+        "of the clashing files."
+    )

@@ -1,0 +1,247 @@
+"""Property-based invariants for the ResourceManager.
+
+A seeded random interleaving of ~500 allocate / deallocate / export /
+import / release / swap-out / swap-in / space-lifecycle operations, with
+conservation checked after every step:
+
+* no page leaks and no double frees — ``free + allocated == capacity`` on
+  the device pool and ``free + used == capacity`` on the host pool;
+* no refcount underflow — every mapped physical page has refcount >= 1;
+* a full teardown returns every resource: both pools end empty.
+
+Deliberately illegal operations (double free, foreign handles, imports of
+unknown exports) are also thrown in and must raise ``ResourceError``
+without perturbing any invariant.
+"""
+
+import random
+
+import pytest
+
+from repro.core.handles import KvPage
+from repro.core.resources import ResourceManager
+from repro.errors import OutOfResourcesError, ResourceError
+from repro.gpu.config import GpuConfig
+from repro.gpu.host_pool import HostMemoryPool
+from repro.gpu.memory import DeviceMemory
+from repro.model.registry import ModelRegistry
+
+KV_CAPACITY = 24
+EMB_CAPACITY = 32
+HOST_CAPACITY = 16
+N_OPS = 500
+
+
+def build_manager():
+    config = ModelRegistry(["llama-sim-1b"]).get("llama-sim-1b").config
+    gpu = GpuConfig(
+        num_kv_pages=KV_CAPACITY,
+        num_embed_slots=EMB_CAPACITY,
+        host_kv_pages=HOST_CAPACITY,
+    )
+    memory = DeviceMemory(config, gpu)
+    host_pool = HostMemoryPool(config, gpu)
+    return ResourceManager(memory, model_name="llama-sim-1b", host_pool=host_pool)
+
+
+class Harness:
+    """Shadow state + weighted random operations over one ResourceManager."""
+
+    def __init__(self, seed: int) -> None:
+        self.rng = random.Random(seed)
+        self.rm = build_manager()
+        self.kv = {}  # owner -> list of live KvPage handles
+        self.emb = {}  # owner -> list of live Embed handles
+        self.exports = []  # export names currently live
+        self.next_owner = 0
+        self.next_export = 0
+
+    # -- operations --------------------------------------------------------
+
+    def op_create_space(self):
+        owner = f"inferlet-{self.next_owner}"
+        self.next_owner += 1
+        self.rm.create_space(owner)
+        self.kv[owner] = []
+        self.emb[owner] = []
+
+    def op_destroy_space(self):
+        owner = self._pick_owner()
+        if owner is None:
+            return
+        self.rm.destroy_space(owner)
+        del self.kv[owner]
+        del self.emb[owner]
+
+    def op_alloc_kv(self):
+        owner = self._pick_owner()
+        if owner is None:
+            return
+        count = self.rng.randint(1, 4)
+        try:
+            self.kv[owner].extend(self.rm.alloc_kv_pages(owner, count))
+        except OutOfResourcesError:
+            pass  # legal refusal; invariants must still hold
+
+    def op_dealloc_kv(self):
+        owner = self._pick_owner()
+        if owner is None or not self.kv[owner]:
+            return
+        count = self.rng.randint(1, len(self.kv[owner]))
+        victims = [
+            self.kv[owner].pop(self.rng.randrange(len(self.kv[owner])))
+            for _ in range(count)
+        ]
+        self.rm.dealloc_kv_pages(owner, victims)
+
+    def op_alloc_emb(self):
+        owner = self._pick_owner()
+        if owner is None:
+            return
+        try:
+            self.emb[owner].extend(self.rm.alloc_embeds(owner, self.rng.randint(1, 3)))
+        except OutOfResourcesError:
+            pass
+
+    def op_dealloc_emb(self):
+        owner = self._pick_owner()
+        if owner is None or not self.emb[owner]:
+            return
+        handle = self.emb[owner].pop(self.rng.randrange(len(self.emb[owner])))
+        self.rm.dealloc_embeds(owner, [handle])
+
+    def op_export(self):
+        owner = self._pick_owner()
+        if owner is None or not self.kv[owner]:
+            return
+        resident = [
+            h for h in self.kv[owner] if h.vid in self.rm._spaces[owner].kv_map
+        ]
+        if not resident:
+            return
+        count = self.rng.randint(1, min(3, len(resident)))
+        name = f"export-{self.next_export}"
+        self.next_export += 1
+        self.rm.export_kv_pages(owner, self.rng.sample(resident, count), name)
+        self.exports.append(name)
+
+    def op_import(self):
+        owner = self._pick_owner()
+        if owner is None or not self.exports:
+            return
+        name = self.rng.choice(self.exports)
+        self.kv[owner].extend(self.rm.import_kv_pages(owner, name))
+
+    def op_release_export(self):
+        if not self.exports:
+            return
+        name = self.exports.pop(self.rng.randrange(len(self.exports)))
+        self.rm.release_export(name)
+
+    def op_swap_out(self):
+        owner = self._pick_owner()
+        if owner is None:
+            return
+        self.rm.swap_out_kv(owner)
+
+    def op_swap_in(self):
+        owner = self._pick_owner()
+        if owner is None:
+            return
+        if self.rm.kv_pages_swapped_by(owner) <= self.rm.kv_pages_free:
+            self.rm.swap_in_kv(owner)
+
+    def op_illegal(self):
+        """Deliberate misuse must raise cleanly and change nothing."""
+        owner = self._pick_owner()
+        if owner is None:
+            return
+        choice = self.rng.randrange(3)
+        if choice == 0 and self.kv[owner]:
+            handle = self.rng.choice(self.kv[owner])
+            resident = handle.vid in self.rm._spaces[owner].kv_map
+            if resident:
+                self.rm.dealloc_kv_pages(owner, [handle])
+                self.kv[owner].remove(handle)
+                with pytest.raises(ResourceError):
+                    self.rm.dealloc_kv_pages(owner, [handle])  # double free
+        elif choice == 1:
+            with pytest.raises(ResourceError):
+                self.rm.import_kv_pages(owner, "no-such-export")
+        elif choice == 2 and self.kv[owner]:
+            foreign = KvPage(
+                vid=self.kv[owner][0].vid,
+                owner="someone-else",
+                page_size=self.rm.page_size,
+                model=self.rm.model_name,
+            )
+            with pytest.raises(ResourceError):
+                self.rm.resolve_kv(owner, foreign)
+
+    # -- helpers -----------------------------------------------------------
+
+    def _pick_owner(self):
+        owners = sorted(self.kv)
+        return self.rng.choice(owners) if owners else None
+
+    # -- invariants --------------------------------------------------------
+
+    def check_invariants(self):
+        rm = self.rm
+        kv_pool = rm.memory.kv_pages
+        emb_pool = rm.memory.embeds
+        host = rm.host_pool
+        # Conservation on every pool.
+        assert kv_pool.num_free + kv_pool.num_allocated == KV_CAPACITY
+        assert emb_pool.num_free + emb_pool.num_allocated == EMB_CAPACITY
+        assert host.num_free + host.num_used == HOST_CAPACITY
+        # Device-resident + host-resident pages of every space are disjoint
+        # and every mapped physical page carries at least one reference.
+        for owner, space in rm._spaces.items():
+            assert not (set(space.kv_map) & set(space.swapped_kv)), owner
+            for pid in space.kv_map.values():
+                assert rm.kv_refcount(pid) >= 1
+        # Exported pages stay referenced even without a live owner mapping.
+        for name in self.exports:
+            for pid in rm.export_info(name).physical_ids:
+                assert rm.kv_refcount(pid) >= 1
+
+    def teardown(self):
+        for name in list(self.exports):
+            self.rm.release_export(name)
+        for owner in list(self.kv):
+            self.rm.destroy_space(owner)
+
+
+OPS = (
+    ("create_space", 6),
+    ("destroy_space", 2),
+    ("alloc_kv", 14),
+    ("dealloc_kv", 8),
+    ("alloc_emb", 6),
+    ("dealloc_emb", 4),
+    ("export", 5),
+    ("import", 5),
+    ("release_export", 3),
+    ("swap_out", 6),
+    ("swap_in", 6),
+    ("illegal", 3),
+)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2026])
+def test_randomised_interleaving_preserves_invariants(seed):
+    harness = Harness(seed)
+    harness.op_create_space()
+    names = [name for name, weight in OPS for _ in range(weight)]
+    for _ in range(N_OPS):
+        getattr(harness, f"op_{harness.rng.choice(names)}")()
+        harness.check_invariants()
+    # Full teardown: every page, slot and host copy comes home exactly once.
+    harness.teardown()
+    rm = harness.rm
+    assert rm.memory.kv_pages.num_allocated == 0
+    assert rm.memory.embeds.num_allocated == 0
+    assert rm.host_pool.num_used == 0
+    assert rm.memory.kv_pages.num_free == KV_CAPACITY
+    assert rm.list_exports() == []

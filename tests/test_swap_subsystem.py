@@ -449,6 +449,87 @@ class TestOverlappingExternalCalls:
         )
 
 
+class TestSwapExportInteraction:
+    """Pinned pages (exports, prefix cache) and PCIe charge accounting."""
+
+    SHARED = "Shared fleet system prompt, long enough to span pages comfortably. "
+
+    def _cache_server(self, sim, *, kv_pages=96, host_pages=64):
+        config = PieConfig(
+            gpu=GpuConfig(num_kv_pages=kv_pages, host_kv_pages=host_pages),
+            control=ControlLayerConfig(prefix_cache=True),
+        )
+        server = PieServer(sim, config=config)
+        ToolEnvironment(sim, server.external)
+        server.register_external(SLOW_URL, lambda p: "rows", ConstantLatency(0.3))
+        return server
+
+    def test_prefix_cached_pages_are_never_suspended(self):
+        sim = Simulator(seed=1)
+        server = self._cache_server(sim)
+        service = server.service()
+
+        async def producer(ctx):
+            context = Context(ctx, sampling=SamplingParams())
+            await context.fill(self.SHARED + "producer task. ")
+            await ctx.http_get(SLOW_URL)  # blocks; proactive swap kicks in
+            answer = await context.generate_until(max_tokens=2)
+            context.free()
+            return answer
+
+        [result] = run_fleet(server, [InferletProgram(name="prod", main=producer)])
+        assert result.status == "finished"
+        cache = service.shards[0].prefix_cache
+        m = server.metrics
+        registered = m.prefix_cache_inserted_pages
+        assert registered > 0
+        # The proactive suspend moved *something* (the partial tail page),
+        # but every cache-pinned page stayed resident on the device.
+        assert m.swap_outs > 0
+        assert 0 < m.kv_pages_swapped_out < registered
+        assert cache.cached_pages() == registered
+
+    def test_exported_pages_excluded_from_swappable_count(self):
+        sim = Simulator(seed=0)
+        server = make_server(sim, kv_pages=32, host_pages=32)
+        resources = server.service().resources
+        resources.create_space("probe")
+        handles = resources.alloc_kv_pages("probe", 4)
+        assert resources.swappable_kv_count("probe") == 4
+        resources.export_kv_pages("probe", handles[:3], "pinned")
+        assert resources.swappable_kv_count("probe") == 1
+        assert resources.swap_out_kv("probe") == 1  # only the private page
+        resources.release_export("pinned")
+        assert resources.swappable_kv_count("probe") == 3
+        resources.swap_in_kv("probe")
+        resources.destroy_space("probe")
+
+    def test_fault_in_after_resume_charges_pcie_exactly_once(self):
+        sim = Simulator(seed=2)
+        server = make_server(sim, kv_pages=64, host_pages=64)
+
+        async def one_call(ctx):
+            context = Context(ctx, sampling=SamplingParams())
+            await context.fill("an agent with exactly one blocking tool call ")
+            observation = await ctx.http_get(SLOW_URL)
+            # Several post-resume commands resolve the same pages: none may
+            # trigger a second (already-resident) fault-in.
+            await context.fill(f"obs:{observation} ")
+            answer = await context.generate_until(max_tokens=3)
+            context.free()
+            return answer
+
+        [result] = run_fleet(server, [InferletProgram(name="once", main=one_call)])
+        assert result.status == "finished"
+        m = server.metrics
+        assert m.swap_outs == 1
+        assert m.swap_ins == 1
+        assert m.kv_pages_swapped_in == m.kv_pages_swapped_out
+        kinds = server.service().pool.aggregate_stats().batches_by_kind
+        assert kinds.get("swap_out") == 1
+        assert kinds.get("swap_in") == 1  # the PCIe restore hit the device once
+
+
 class TestRouterSwapAwareness:
     def test_least_loaded_ignores_swapped_instances(self):
         sim = Simulator(seed=0)
