@@ -1,0 +1,90 @@
+"""Benchmark for the multi-tenant QoS subsystem (beyond the paper).
+
+A batch tenant's fork-join mining agents share one overcommitted device
+with an interactive tenant's chat turns.  Served as one undifferentiated
+FCFS pool the chat turns queue behind the miner backlog and lose the
+reclamation lottery; with the QoS subsystem on, class-weighted slack
+dispatch, per-class merge priority and lowest-class-first preemption must
+deliver >= 2x better interactive p99 TTFT at <= 10% total token-throughput
+cost, with zero interactive-class reclamation terminations.  The
+``qos=off`` path must remain bit-identical to the pre-QoS system.
+"""
+
+from repro.bench.experiments import qos as qos_experiment
+
+
+def test_qos(run_experiment):
+    result = run_experiment(qos_experiment)
+    rows = {r["config"]: r for r in result.rows}
+    assert set(rows) == {"qos_off", "qos_on"}
+    off, on = rows["qos_off"], rows["qos_on"]
+
+    # The pressure scenario is real: without QoS, interactive requests are
+    # among the reclamation victims (FCFS kills the youngest arrivals).
+    assert off["interactive_terminated"] > 0
+
+    # Headline: interactive p99 TTFT at least 2x better under QoS...
+    assert off["interactive_ttft_p99_ms"] >= 2.0 * on["interactive_ttft_p99_ms"]
+    # ...at no more than 10% total finished-token throughput cost.
+    assert on["token_throughput_per_s"] >= 0.9 * off["token_throughput_per_s"]
+
+    # Preemption ordering: pressure lands exclusively on the batch class.
+    assert on["interactive_terminated"] == 0
+    assert on["preempt_terms"] == on["batch_terminated"]
+    # Interactive SLO attainment does not regress (and typically improves).
+    assert on["interactive_slo"] >= off["interactive_slo"]
+
+
+def test_qos_off_is_bit_identical_and_inert():
+    """The qos=off run takes the exact pre-QoS code path.
+
+    Two identical seeded runs must agree bit-for-bit, and none of the QoS
+    machinery may leave a trace (no admission decisions, no preemption
+    accounting, no tenant records) — the structural half of the
+    "off == pre-PR behaviour" guarantee; tests/test_determinism.py holds
+    the seeded end-to-end half.
+    """
+    first = qos_experiment.run_fleet(False)
+    second = qos_experiment.run_fleet(False)
+    for key in (
+        "finished",
+        "elapsed",
+        "total_output_tokens",
+        "interactive_ttft_p50",
+        "interactive_ttft_p99",
+        "interactive_terminated",
+        "batch_terminated",
+        "reclamation_terminations",
+    ):
+        assert first[key] == second[key], key
+    assert first["qos_admitted"] == 0
+    assert first["qos_queued"] == 0
+    assert first["qos_rejected"] == 0
+    assert first["qos_preemption_swaps"] == 0
+    assert first["qos_preemption_terminations"] == 0
+    assert first["tenant_metrics"] == {}
+
+
+def test_qos_tenant_accounting():
+    """Per-tenant SystemMetrics counters add up for the qos=on run."""
+    row = qos_experiment.run_fleet(True)
+    tenants = row["tenant_metrics"]
+    assert set(tenants) == {
+        qos_experiment.INTERACTIVE_TENANT,
+        qos_experiment.BATCH_TENANT,
+    }
+    chat = tenants[qos_experiment.INTERACTIVE_TENANT]
+    miner = tenants[qos_experiment.BATCH_TENANT]
+    assert chat.priority_class == "interactive"
+    assert miner.priority_class == "batch"
+    # Every interactive request was admitted, produced a first token within
+    # the run, and none were preempted.
+    assert chat.admitted == len(chat.ttft_seconds)
+    assert chat.preempted_terminations == 0
+    assert chat.preempted_swaps == 0
+    # All reclamation preemptions were billed to the batch tenant.
+    assert miner.preempted_terminations == row["qos_preemption_terminations"]
+    # Fair-share accounting ran: dispatched work was charged to both.
+    assert chat.dispatched_commands > 0
+    assert miner.dispatched_commands > chat.dispatched_commands
+    assert miner.virtual_tokens > 0

@@ -18,4 +18,7 @@ Beyond the paper:
   for I/O-heavy agents under device-memory pressure.
 * ``prefix_cache``         — automatic token-addressed KV reuse for a
   fleet sharing one system prompt (off vs on vs cache-affinity cluster).
+* ``qos``                  — multi-tenant QoS: SLO-aware admission,
+  slack dispatch and class-aware preemption vs undifferentiated FCFS
+  for a batch + interactive mixed-tenant workload.
 """

@@ -19,6 +19,8 @@ def make_pie_setup(
     placement_policy: Optional[str] = None,
     host_kv_pages: Optional[int] = None,
     swap_policy: Optional[str] = None,
+    qos: Optional[bool] = None,
+    tenants: Optional[Sequence] = None,
 ) -> Tuple[Simulator, PieServer]:
     """Create a simulator + Pie server + standard tool environment.
 
@@ -26,7 +28,8 @@ def make_pie_setup(
     simulated multi-GPU cluster (they override the corresponding fields of
     ``config``; see :mod:`repro.core.router`).  ``host_kv_pages`` /
     ``swap_policy`` configure the tiered KV memory subsystem
-    (:mod:`repro.core.swap`).
+    (:mod:`repro.core.swap`).  ``qos`` / ``tenants`` enable the
+    multi-tenant QoS service (:mod:`repro.core.qos`).
     """
     sim = Simulator(seed=seed)
     server = PieServer(
@@ -37,6 +40,8 @@ def make_pie_setup(
         placement_policy=placement_policy,
         host_kv_pages=host_kv_pages,
         swap_policy=swap_policy,
+        qos=qos,
+        tenants=tenants,
     )
     if with_tools:
         ToolEnvironment(sim, server.external)

@@ -11,7 +11,9 @@ Three layers, as in the paper (§5):
   per-device batch scheduler (:mod:`repro.core.scheduler`,
   :mod:`repro.core.batching`), the tiered-KV swap manager
   (:mod:`repro.core.swap`) that suspends blocked inferlets to host
-  memory, and the event dispatcher.
+  memory, the multi-tenant QoS service (:mod:`repro.core.qos`:
+  admission control, SLO-aware dispatch, class-aware preemption), and
+  the event dispatcher.
 * **Inference layer** — the API handlers (:mod:`repro.core.handlers`)
   executing batched calls on the simulated device(s); with
   ``GpuConfig.num_devices > 1`` each device shard runs its own handler set
@@ -35,6 +37,7 @@ from repro.core.router import (
 )
 from repro.core.swap import SwapManager
 from repro.core.prefix_cache import PrefixCacheService
+from repro.core.qos import QOS_CLASSES, QosService, TenantSpec
 from repro.core.server import PieServer, PieClient, LaunchResult
 
 __all__ = [
@@ -56,6 +59,9 @@ __all__ = [
     "Router",
     "SwapManager",
     "PrefixCacheService",
+    "QOS_CLASSES",
+    "QosService",
+    "TenantSpec",
     "PieServer",
     "PieClient",
     "LaunchResult",

@@ -68,8 +68,7 @@ class InferletContext:
 
     def record_output_tokens(self, count: int = 1) -> None:
         """Instrumentation hook: count tokens this inferlet emitted as output."""
-        self._instance.metrics.output_tokens += count
-        self._controller.metrics.total_output_tokens += count
+        self._controller.record_output_tokens(self._instance, count)
 
     def _charge(self, api_name: str) -> float:
         self._instance.check_alive()

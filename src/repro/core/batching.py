@@ -17,7 +17,7 @@ the one whose oldest pending command has waited the longest.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core.command_queue import Command, CommandQueue
 
@@ -42,14 +42,28 @@ class CandidateBatch:
 
 
 def form_candidate_batches(
-    queues: Sequence[CommandQueue], max_batch_rows: int
+    queues: Sequence[CommandQueue],
+    max_batch_rows: int,
+    priority_of: Optional[Callable[[CommandQueue], int]] = None,
 ) -> Dict[str, CandidateBatch]:
-    """Compute the best candidate batch per command kind."""
+    """Compute the best candidate batch per command kind.
+
+    Merge priority is read *live* from each queue at formation time (via
+    ``priority_of``, defaulting to ``queue.priority``), so a
+    ``set_queue_priority`` issued after commands were enqueued still
+    reorders them — the priority snapshotted onto the command at push time
+    is only a fallback for commands inspected outside batch formation.
+    The QoS service supplies a ``priority_of`` that adds a per-class
+    stride on top of the queue priority.
+    """
     runs_by_kind: Dict[str, List[List[Command]]] = {}
     for queue in queues:
         run = queue.head_run(max_batch_rows)
         if not run:
             continue
+        priority = priority_of(queue) if priority_of is not None else queue.priority
+        for command in run:
+            command.priority = priority
         runs_by_kind.setdefault(run[0].kind, []).append(run)
 
     candidates: Dict[str, CandidateBatch] = {}

@@ -78,6 +78,9 @@ class CommandQueue:
 
     def push(self, command: Command) -> None:
         command.queue_key = self.key
+        # Snapshot only: batch formation re-reads the live queue priority
+        # (repro.core.batching.form_candidate_batches), so set_queue_priority
+        # after enqueue still affects already-queued commands.
         command.priority = self.priority
         self._pending.append(command)
         self._issued += 1

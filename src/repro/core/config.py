@@ -3,8 +3,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Tuple
 
 from repro.errors import ReproError
+from repro.core.qos import QOS_CLASSES, TenantSpec
 from repro.gpu.config import GpuConfig
 
 #: Valid cluster placement policies (see :mod:`repro.core.router`, which
@@ -89,6 +91,23 @@ class ControlLayerConfig:
     # (LRU leaves are evicted beyond it); 0 means unbounded, leaving
     # eviction/demotion to the memory-pressure reclamation ladder.
     prefix_cache_max_pages: int = 0
+    # Multi-tenant QoS (repro.core.qos): when True, launches pass tenant
+    # admission control (token-bucket rate + concurrency caps), candidate
+    # batches are scored by class-weighted slack-to-deadline instead of
+    # longest-waiting, and preemption victims are chosen lowest-class /
+    # most-slack-first.  Off by default — the serving path is then
+    # bit-identical to the pre-QoS system.
+    qos: bool = False
+    # Registered tenants (TenantSpec records); launches naming an
+    # unregistered tenant get an implicit unlimited spec of
+    # ``qos_default_class``.
+    tenants: Tuple[TenantSpec, ...] = ()
+    # Priority class assumed for unregistered tenants / untagged traffic.
+    qos_default_class: str = "standard"
+    # Starvation bound for SLO-aware dispatch: a candidate batch whose
+    # oldest command has waited this long is served FCFS regardless of
+    # class (aging).
+    qos_aging_ms: float = 200.0
 
 
 @dataclass(frozen=True)
@@ -130,3 +149,18 @@ class PieConfig:
             raise ReproError("swap_min_pages must be at least 1")
         if self.control.prefix_cache_max_pages < 0:
             raise ReproError("prefix_cache_max_pages must be non-negative")
+        if self.control.qos_default_class not in QOS_CLASSES:
+            raise ReproError(
+                f"unknown qos_default_class {self.control.qos_default_class!r}; "
+                f"have {QOS_CLASSES}"
+            )
+        if self.control.qos_aging_ms <= 0:
+            raise ReproError("qos_aging_ms must be positive")
+        for spec in self.control.tenants:
+            if not isinstance(spec, TenantSpec):
+                raise ReproError(
+                    f"ControlLayerConfig.tenants must hold TenantSpec records, got {spec!r}"
+                )
+        names = [spec.name for spec in self.control.tenants]
+        if len(names) != len(set(names)):
+            raise ReproError("tenant names must be unique")

@@ -27,6 +27,7 @@ from repro.core.inferlet import InferletInstance
 from repro.core.messaging import ExternalServices, MessageBus
 from repro.core.metrics import SystemMetrics
 from repro.core.prefix_cache import PrefixCacheService
+from repro.core.qos import QosService
 from repro.core.resources import ResourceManager
 from repro.core.router import ClusterSchedulerStats, DeviceShard, Router
 from repro.core.scheduler import BatchScheduler
@@ -139,6 +140,19 @@ class Controller:
         self.external = external or ExternalServices(sim)
         self.bus = MessageBus(sim)
         self.metrics = SystemMetrics()
+        # The QoS control plane (repro.core.qos): admission, SLO-aware
+        # dispatch, priority-aware preemption and fair share.  None when the
+        # knob is off — every hook below is then skipped and the serving
+        # path is bit-identical to the pre-QoS system.
+        self.qos: Optional[QosService] = None
+        if config.control.qos:
+            self.qos = QosService(
+                sim,
+                self.metrics,
+                tenants=config.control.tenants,
+                default_class=config.control.qos_default_class,
+                aging_ms=config.control.qos_aging_ms,
+            )
         self._services: Dict[str, ModelService] = {}
         self._instances: Dict[str, InferletInstance] = {}
         self._queue_ids = itertools.count(1)
@@ -155,7 +169,12 @@ class Controller:
         # shard of this model (capacity 0 disables swapping entirely).
         host_pool = HostMemoryPool(entry.config, self.config.gpu)
         swap = SwapManager(
-            self.sim, host_pool, cost_model, self.config.control, self.metrics
+            self.sim,
+            host_pool,
+            cost_model,
+            self.config.control,
+            self.metrics,
+            qos=self.qos,
         )
         shards: List[DeviceShard] = []
         for index, (device, memory) in enumerate(zip(pool.devices, pool.memories)):
@@ -177,6 +196,8 @@ class Controller:
             if swap.enabled:
                 # Admission: never dispatch commands of a suspended owner.
                 scheduler.set_dispatch_guard(swap.is_swapped)
+            if self.qos is not None:
+                scheduler.set_qos(self.qos)
             shard = DeviceShard(
                 index=index,
                 device=device,
@@ -200,6 +221,7 @@ class Controller:
             shards,
             policy=self.config.control.placement_policy,
             is_swapped=swap.is_swapped if swap.enabled else None,
+            placement_weight=self.qos.placement_weight if self.qos is not None else None,
         )
         service = ModelService(
             entry=entry,
@@ -314,6 +336,17 @@ class Controller:
             return self.control_call_overhead()
         return self.inference_call_overhead()
 
+    def record_output_tokens(self, instance: InferletInstance, count: int = 1) -> None:
+        """Count emitted output tokens, stamping TTFT/TPOT timestamps and
+        feeding the per-tenant SLO samples when QoS is enabled."""
+        if count <= 0:
+            return
+        now = self.sim.now
+        first = instance.metrics.note_output(now, count)
+        self.metrics.total_output_tokens += count
+        if self.qos is not None:
+            self.qos.note_output(instance, now, count, first)
+
     # -- command queues -------------------------------------------------------------------
 
     def create_queue(self, instance: InferletInstance, model: Optional[str] = None) -> Queue:
@@ -321,9 +354,17 @@ class Controller:
         service = self.service(model)
         shard = service.shard_for(instance.instance_id)
         qid = next(self._queue_ids)
-        handle = Queue(qid=qid, owner=instance.instance_id, model=model)
+        # New queues inherit the launch-time priority, so inferlets need
+        # not call set_queue_priority per queue after creation.
+        priority = instance.default_priority
+        handle = Queue(
+            qid=qid, owner=instance.instance_id, model=model, priority=priority
+        )
         shard.scheduler.create_queue(
-            key=(instance.instance_id, qid), model=model, owner=instance.instance_id
+            key=(instance.instance_id, qid),
+            model=model,
+            owner=instance.instance_id,
+            priority=priority,
         )
         return handle
 
@@ -411,6 +452,8 @@ class Controller:
                 )
             self.metrics.reclamation_terminations += 1
             shard.scheduler.stats.reclamation_terminations += 1
+            if self.qos is not None:
+                self.qos.note_preempted_termination(victim)
             self.terminate_inferlet(victim, reason="resource reclamation (FCFS)")
             if victim.instance_id == requester.instance_id:
                 requester.check_alive()  # raises InferletTerminated
@@ -433,7 +476,13 @@ class Controller:
             for inst in candidates
             if not service.swap.is_swapped(inst.instance_id)
         ]
-        return max(resident or candidates, key=lambda inst: inst.created_at)
+        pool = resident or candidates
+        if self.qos is not None:
+            # Terminate-last becomes class-aware: lowest class and most
+            # slack first, youngest within a tier (FCFS), so interactive
+            # tenants are the last to lose computed state.
+            return min(pool, key=lambda inst: self.qos.victim_key(inst))
+        return max(pool, key=lambda inst: inst.created_at)
 
     def terminate_inferlet(self, instance: InferletInstance, reason: str) -> None:
         instance.mark_terminated(reason)

@@ -89,21 +89,62 @@ class InferletLifecycleManager:
         name: str,
         args: Optional[Sequence[str]] = None,
         seed: Optional[int] = None,
+        tenant: Optional[str] = None,
+        priority: Optional[int] = None,
     ) -> Tuple[InferletInstance, SimFuture]:
         """Request a launch; returns the instance and a future that resolves
-        once the inferlet is running (acknowledging the launch)."""
+        once the inferlet is running (acknowledging the launch).
+
+        ``tenant`` bills the launch to a QoS tenant and ``priority`` seeds
+        every queue the inferlet creates.  With the QoS service enabled the
+        launch passes admission control first: it may be queued (the ready
+        future resolves only once a concurrency slot and rate-bucket token
+        free up) or rejected with a typed
+        :class:`repro.errors.AdmissionRejectedError`.
+        """
         program = self.get_program(name)
         if seed is None:
             self._seed_counter += 1
             seed = self._seed_counter
-        instance = InferletInstance(program, args=args, seed=seed)
+        instance = InferletInstance(
+            program,
+            args=args,
+            seed=seed,
+            tenant=tenant or "default",
+            priority=priority or 0,
+        )
         instance.created_at = self.sim.now
         instance.metrics.launched_at = self.sim.now
         instance.channel = ClientChannel(self.sim, instance.instance_id)
         ready = self.sim.create_future(name=f"launch:{instance.instance_id}")
+        qos = self.controller.qos
+        if qos is not None:
+            # May raise AdmissionRejectedError; "queued" parks the launch
+            # inside the QoS service until admission, then re-enters here.
+            decision = qos.request_admission(
+                instance,
+                proceed=lambda: self._enqueue_launch(instance, ready),
+                on_cancelled=lambda: self._fail_ready(instance, ready),
+            )
+            if decision == "queued":
+                return instance, ready
+        self._enqueue_launch(instance, ready)
+        return instance, ready
+
+    def _enqueue_launch(self, instance: InferletInstance, ready: SimFuture) -> None:
         self._launch_queue.append((instance, ready))
         self._pump_launch_queue()
-        return instance, ready
+
+    @staticmethod
+    def _fail_ready(instance: InferletInstance, ready: SimFuture) -> None:
+        """Resolve a ready future whose launch was aborted before running."""
+        if not ready.done():
+            ready.set_exception(
+                InferletTerminated(
+                    f"inferlet {instance.instance_id} was terminated before launch: "
+                    f"{instance.terminated_reason}"
+                )
+            )
 
     def _pump_launch_queue(self) -> None:
         if self._launch_worker_busy or not self._launch_queue:
@@ -117,11 +158,21 @@ class InferletLifecycleManager:
         await self.sim.sleep(milliseconds(self.config.wasm.launch_handling_ms))
         self._launch_worker_busy = False
         self._pump_launch_queue()
+        if instance.finished:
+            # Aborted while parked in the launch (or QoS admission) queue:
+            # the termination must stick — don't instantiate, and release
+            # any admission slot the instance was holding.
+            if self.controller.qos is not None:
+                self.controller.qos.note_finished(instance)
+            self._fail_ready(instance, ready)
+            return
         try:
             await self.runtime.instantiate(instance.program.name)
         except InferletError as exc:
             instance.metrics.status = "failed"
             self.controller.metrics.inferlets_failed += 1
+            if self.controller.qos is not None:
+                self.controller.qos.note_finished(instance)
             ready.set_exception(exc)
             return
         self.controller.register_inferlet(instance)
@@ -160,6 +211,10 @@ class InferletLifecycleManager:
             if instance.metrics.status != "terminated":
                 # Terminated instances were already cleaned up by the controller.
                 self.controller.unregister_inferlet(instance)
+            if self.controller.qos is not None:
+                # Free the tenant's concurrency slot and pump its admission
+                # queue (idempotent; covers finish, failure and termination).
+                self.controller.qos.note_finished(instance)
 
     async def _invoke(self, main, ctx: InferletContext, args: List[str]) -> Any:
         coro_or_value = main(ctx)
@@ -172,6 +227,12 @@ class InferletLifecycleManager:
     def _on_forced_termination(self, instance: InferletInstance, reason: str) -> None:
         if instance.task is not None and not instance.task.done():
             instance.task.cancel()
+        elif instance.task is None and self.controller.qos is not None:
+            # Never started: it may be parked in the QoS admission queue —
+            # remove it now so it neither hangs its awaiter nor occupies a
+            # max_queued slot (the launch-queue case cleans itself up in
+            # _launch_one).
+            self.controller.qos.cancel_parked(instance)
 
     def abort(self, instance: InferletInstance, reason: str = "client abort") -> None:
         """Abort a running inferlet on behalf of its client."""

@@ -8,6 +8,7 @@ to read from.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -24,7 +25,27 @@ class InferletMetrics:
     control_layer_calls: int = 0
     inference_layer_calls: int = 0
     output_tokens: int = 0
+    # First/latest output-token timestamps (virtual time), recorded for
+    # every inferlet so TTFT/TPOT can be computed with or without QoS.
+    first_token_at: Optional[float] = None
+    last_token_at: Optional[float] = None
     calls_by_api: Dict[str, int] = field(default_factory=dict)
+
+    def note_output(self, now: float, count: int = 1) -> bool:
+        """Count emitted output tokens; returns True on the first token.
+
+        A ``count <= 0`` record is a no-op: it must not stamp token
+        timestamps (that would fabricate a TTFT sample for a request that
+        emitted nothing).
+        """
+        if count <= 0:
+            return False
+        self.output_tokens += count
+        first = self.first_token_at is None
+        if first:
+            self.first_token_at = now
+        self.last_token_at = now
+        return first
 
     def record_call(self, api_name: str, layer: str) -> None:
         self.calls_by_api[api_name] = self.calls_by_api.get(api_name, 0) + 1
@@ -43,6 +64,29 @@ class InferletMetrics:
             return None
         return self.finished_at - self.started_at
 
+    @property
+    def ttft(self) -> Optional[float]:
+        """Time to first output token, measured from the launch request
+        (admission queueing counts against the SLO)."""
+        if self.first_token_at is None:
+            return None
+        return self.first_token_at - self.launched_at
+
+    @property
+    def tpot(self) -> Optional[float]:
+        """Mean time per output token over the decode stream.
+
+        None when the stream carries no timing information: fewer than two
+        tokens, or every token recorded at one instant (a program that
+        bulk-records its output after generation) — a 0.0 sample would
+        trivially satisfy any TPOT SLO.
+        """
+        if self.first_token_at is None or self.output_tokens <= 1:
+            return None
+        if self.last_token_at == self.first_token_at:
+            return None
+        return (self.last_token_at - self.first_token_at) / (self.output_tokens - 1)
+
     def calls_per_output_token(self) -> Dict[str, float]:
         """Figure 11: average API calls per generated output token."""
         tokens = max(1, self.output_tokens)
@@ -50,6 +94,41 @@ class InferletMetrics:
             "control": self.control_layer_calls / tokens,
             "inference": self.inference_layer_calls / tokens,
         }
+
+
+def percentile(samples: List[float], p: float) -> float:
+    """Nearest-rank percentile (deterministic, no interpolation)."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = max(1, math.ceil(p / 100.0 * len(ordered)))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+@dataclass
+class TenantMetrics:
+    """Per-tenant QoS counters (admission, preemption, SLO samples)."""
+
+    tenant: str
+    priority_class: str = "standard"
+    admitted: int = 0
+    queued: int = 0
+    rejected: int = 0
+    finished: int = 0
+    terminated: int = 0
+    preempted_swaps: int = 0
+    preempted_terminations: int = 0
+    dispatched_commands: int = 0
+    virtual_tokens: float = 0.0
+    output_tokens: int = 0
+    ttft_seconds: List[float] = field(default_factory=list)
+    tpot_seconds: List[float] = field(default_factory=list)
+
+    def ttft_percentile(self, p: float) -> float:
+        return percentile(self.ttft_seconds, p)
+
+    def tpot_percentile(self, p: float) -> float:
+        return percentile(self.tpot_seconds, p)
 
 
 @dataclass
@@ -96,6 +175,16 @@ class SystemMetrics:
     # Device pages freed for allocations by demoting/evicting cache
     # entries (the swap manager's reclamation ladder, terminate-last).
     prefix_cache_reclaims: int = 0
+    # QoS subsystem (repro.core.qos): admission decisions and preemptions
+    # chosen by priority-aware victim selection.  All zero with qos off.
+    qos_admitted: int = 0
+    qos_queued: int = 0
+    qos_rejected: int = 0
+    qos_preemption_swaps: int = 0
+    qos_preemption_terminations: int = 0
+    # Per-tenant admission/SLO accounting, keyed by tenant name (populated
+    # only when the QoS service is enabled).
+    tenants: Dict[str, TenantMetrics] = field(default_factory=dict)
 
     def register(self, metrics: InferletMetrics) -> None:
         self.per_inferlet[metrics.inferlet_id] = metrics

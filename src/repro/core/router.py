@@ -90,6 +90,7 @@ class Router:
         shards: Sequence[DeviceShard],
         policy: str = "round_robin",
         is_swapped: Optional[Callable[[str], bool]] = None,
+        placement_weight: Optional[Callable[[str], float]] = None,
     ) -> None:
         if not shards:
             raise ReproError("router needs at least one shard")
@@ -100,6 +101,11 @@ class Router:
         self.shards = list(shards)
         self.policy = policy
         self.is_swapped = is_swapped
+        # QoS fair share (repro.core.qos): per-instance occupancy weight for
+        # least_loaded placement — better-class inferlets count heavier, so
+        # interactive tenants spread across shards instead of queueing
+        # behind one shard's batch backlog.  None = every instance counts 1.
+        self.placement_weight = placement_weight
         self._placements: Dict[str, int] = {}
         self._rr_next = 0
 
@@ -148,11 +154,15 @@ class Router:
         return index
 
     def _place_least_loaded(self, restrict: Optional[Sequence[int]] = None) -> int:
-        occupancy = {shard.index: 0 for shard in self.shards}
+        occupancy = {shard.index: 0.0 for shard in self.shards}
         for instance_id, placed_index in self._placements.items():
             if self.is_swapped is not None and self.is_swapped(instance_id):
                 continue  # suspended to host memory: no HBM, no compute
-            occupancy[placed_index] += 1
+            occupancy[placed_index] += (
+                self.placement_weight(instance_id)
+                if self.placement_weight is not None
+                else 1
+            )
         eligible = self.shards
         if restrict is not None:
             allowed = set(restrict)

@@ -81,11 +81,20 @@ class BatchScheduler:
         # out to the host tier must not have commands dispatched until their
         # pages are resident again.  None = admit everyone.
         self._dispatch_guard: Optional[Callable[[str], bool]] = None
+        # QoS service (repro.core.qos): when installed, candidate-batch
+        # selection scores by class-weighted slack-to-deadline, merge
+        # priority gains a per-class stride, and dispatched work feeds the
+        # tenant fair-share counters.  None = stock longest-waiting policy.
+        self._qos = None
         self.device.on_idle(self._on_device_idle)
 
     def set_dispatch_guard(self, is_suspended: Optional[Callable[[str], bool]]) -> None:
         """Install a predicate barring suspended owners from dispatch."""
         self._dispatch_guard = is_suspended
+
+    def set_qos(self, qos) -> None:
+        """Install the QoS service's dispatch hooks (SLO-aware selection)."""
+        self._qos = qos
 
     def notify_resumed(self) -> None:
         """Re-run the dispatch trigger after a suspended owner returns.
@@ -203,11 +212,20 @@ class BatchScheduler:
 
     # -- policy implementations -------------------------------------------------------
 
-    def _dispatch_best(self) -> None:
-        candidates = form_candidate_batches(
-            self._dispatchable_queues(), self.gpu_config.max_batch_rows
+    def _form_candidates(self) -> Dict[str, CandidateBatch]:
+        return form_candidate_batches(
+            self._dispatchable_queues(),
+            self.gpu_config.max_batch_rows,
+            priority_of=self._qos.queue_priority if self._qos is not None else None,
         )
-        batch = select_longest_waiting(candidates)
+
+    def _select(self, candidates: Dict[str, CandidateBatch]) -> Optional[CandidateBatch]:
+        if self._qos is not None:
+            return self._qos.select_batch(candidates)
+        return select_longest_waiting(candidates)
+
+    def _dispatch_best(self) -> None:
+        batch = self._select(self._form_candidates())
         if batch is not None:
             self._dispatch(batch)
 
@@ -221,15 +239,13 @@ class BatchScheduler:
 
     def _dispatch_if_threshold_met(self) -> None:
         while True:
-            candidates = form_candidate_batches(
-                self._dispatchable_queues(), self.gpu_config.max_batch_rows
-            )
+            candidates = self._form_candidates()
             eligible = {
                 kind: batch
                 for kind, batch in candidates.items()
                 if len(batch) >= self.config.k_threshold
             }
-            batch = select_longest_waiting(eligible)
+            batch = self._select(eligible)
             if batch is None:
                 return
             self._dispatch(batch)
@@ -252,15 +268,13 @@ class BatchScheduler:
     def _timeout_flush(self) -> None:
         now = self.sim.now
         deadline = milliseconds(self.config.t_timeout_ms)
-        candidates = form_candidate_batches(
-            self._dispatchable_queues(), self.gpu_config.max_batch_rows
-        )
+        candidates = self._form_candidates()
         ripe = {
             kind: batch
             for kind, batch in candidates.items()
             if now - batch.oldest_issue_time >= deadline - 1e-12
         }
-        batch = select_longest_waiting(ripe)
+        batch = self._select(ripe)
         if batch is not None:
             self._dispatch(batch)
 
@@ -270,6 +284,8 @@ class BatchScheduler:
         for queue_key, run in self._group_by_queue(batch.commands).items():
             self.get_queue(queue_key).pop_commands(run)
         self.stats.record(batch)
+        if self._qos is not None:
+            self._qos.note_dispatched(batch.commands)
         cost = self.handlers.batch_cost_seconds(batch.kind, batch.commands)
         cost += milliseconds(self.control_config.batch_scheduling_overhead_ms)
         cost += milliseconds(self.control_config.ipc_crossing_ms)

@@ -52,6 +52,8 @@ class PieServer:
         host_kv_pages: Optional[int] = None,
         swap_policy: Optional[str] = None,
         prefix_cache: Optional[bool] = None,
+        qos: Optional[bool] = None,
+        tenants: Optional[Sequence] = None,
     ) -> None:
         self.sim = sim
         config = config or PieConfig()
@@ -76,6 +78,14 @@ class PieServer:
             config = replace(
                 config, control=replace(config.control, prefix_cache=prefix_cache)
             )
+        if tenants is not None:
+            config = replace(
+                config, control=replace(config.control, tenants=tuple(tenants))
+            )
+            if qos is None:
+                qos = True  # registering tenants implies the QoS service
+        if qos is not None:
+            config = replace(config, control=replace(config.control, qos=qos))
         self.config = config
         registry = ModelRegistry(models or ["llama-sim-1b"])
         self.registry = registry
@@ -109,13 +119,27 @@ class PieServer:
 
     # -- direct (server-side) launching, used by tests and micro-benchmarks ---------
 
-    def launch(self, name: str, args: Optional[Sequence[str]] = None):
-        return self.lifecycle.launch(name, args)
+    def launch(
+        self,
+        name: str,
+        args: Optional[Sequence[str]] = None,
+        tenant: Optional[str] = None,
+        priority: Optional[int] = None,
+    ):
+        return self.lifecycle.launch(name, args, tenant=tenant, priority=priority)
 
-    async def run_inferlet(self, name: str, args: Optional[Sequence[str]] = None) -> LaunchResult:
+    async def run_inferlet(
+        self,
+        name: str,
+        args: Optional[Sequence[str]] = None,
+        tenant: Optional[str] = None,
+        priority: Optional[int] = None,
+    ) -> LaunchResult:
         """Launch an inferlet and wait for it to finish (no client network)."""
         started = self.sim.now
-        instance, ready = self.lifecycle.launch(name, args)
+        instance, ready = self.lifecycle.launch(
+            name, args, tenant=tenant, priority=priority
+        )
         await ready
         launch_latency = self.sim.now - started
         await self.lifecycle.wait_for_completion(instance)
@@ -154,21 +178,40 @@ class PieClient:
 
     # -- launching --------------------------------------------------------------------
 
-    async def launch(self, name: str, args: Optional[Sequence[str]] = None) -> InferletInstance:
-        """Launch an inferlet and return once the server acknowledges it."""
+    async def launch(
+        self,
+        name: str,
+        args: Optional[Sequence[str]] = None,
+        tenant: Optional[str] = None,
+        priority: Optional[int] = None,
+    ) -> InferletInstance:
+        """Launch an inferlet and return once the server acknowledges it.
+
+        ``tenant`` names the QoS tenant the launch is billed to (admission
+        control may queue or reject it, see :mod:`repro.core.qos`);
+        ``priority`` seeds every queue the inferlet creates, so programs
+        need not call ``set_queue_priority`` after creation."""
         await self.link.send((name, args))
-        instance, ready = self.server.lifecycle.launch(name, args)
+        instance, ready = self.server.lifecycle.launch(
+            name, args, tenant=tenant, priority=priority
+        )
         await ready
         await self.link.send(None)
         return instance
 
     async def launch_and_wait(
-        self, name: str, args: Optional[Sequence[str]] = None
+        self,
+        name: str,
+        args: Optional[Sequence[str]] = None,
+        tenant: Optional[str] = None,
+        priority: Optional[int] = None,
     ) -> LaunchResult:
         """Launch an inferlet, wait for completion, and fetch its messages."""
         started = self.sim.now
         await self.link.send((name, args))
-        instance, ready = self.server.lifecycle.launch(name, args)
+        instance, ready = self.server.lifecycle.launch(
+            name, args, tenant=tenant, priority=priority
+        )
         await ready
         launch_latency = self.sim.now - started
         await self.server.lifecycle.wait_for_completion(instance)

@@ -59,12 +59,18 @@ class SwapManager:
         cost_model: KernelCostModel,
         control_config: ControlLayerConfig,
         metrics: SystemMetrics,
+        qos=None,
     ) -> None:
         self.sim = sim
         self.host_pool = host_pool
         self.cost_model = cost_model
         self.config = control_config
         self.metrics = metrics
+        # QoS service (repro.core.qos): when present, reclamation victims
+        # are ordered lowest-class / most-slack-first instead of by page
+        # yield, so batch tenants absorb memory pressure before
+        # interactive ones.  None = stock most-pages-first ordering.
+        self.qos = qos
         # Inferlets currently blocked on at least one external call (the
         # safe-to-swap candidates; the int counts overlapping calls, so a
         # fire-and-forget caller with several in flight stays registered
@@ -289,14 +295,17 @@ class SwapManager:
 
         Candidates are inferlets blocked on external calls *on this shard*
         whose pages can move safely and pass the recompute-vs-transfer
-        test; the one freeing the most pages goes first.  Returns the
-        number of pages freed (0 when reclamation must fall back to FCFS
+        test.  Without QoS the one freeing the most pages goes first; with
+        the QoS service installed victims are ordered lowest-class /
+        most-slack-first (batch tenants absorb pressure before interactive
+        ones), with page yield only breaking ties.  Returns the number of
+        pages freed (0 when reclamation must fall back to FCFS
         termination).
         """
         if not self.enabled:
             return 0
         excluded: Set[str] = set(exclude)
-        best: Optional[Tuple[int, "InferletInstance"]] = None
+        eligible: List[Tuple[int, "InferletInstance"]] = []
         for owner, (instance, blocked_shard, _depth) in self._blocked.items():
             if owner in excluded or blocked_shard is not shard:
                 continue
@@ -307,13 +316,24 @@ class SwapManager:
                 continue
             if not self._swap_beats_recompute(n_pages):
                 continue
-            if best is None or n_pages > best[0]:
-                best = (n_pages, instance)
-        if best is None:
+            eligible.append((n_pages, instance))
+        if not eligible:
             return 0
-        moved = self.swap_out(best[1], shard)
+        if self.qos is not None:
+            _, victim = min(
+                eligible, key=lambda entry: self.qos.victim_key(entry[1], entry[0])
+            )
+        else:
+            best: Optional[Tuple[int, "InferletInstance"]] = None
+            for n_pages, instance in eligible:
+                if best is None or n_pages > best[0]:
+                    best = (n_pages, instance)
+            victim = best[1]
+        moved = self.swap_out(victim, shard)
         if moved:
             self.metrics.reclamation_swaps += 1
+            if self.qos is not None:
+                self.qos.note_preempted_swap(victim)
         return moved
 
     def reclaim_by_cache(self, shard: "DeviceShard") -> int:

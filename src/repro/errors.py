@@ -37,6 +37,16 @@ class InferletTerminated(InferletError):
     resource reclamation or an explicit abort)."""
 
 
+class AdmissionRejectedError(ReproError):
+    """Raised when QoS admission control rejects an inferlet launch
+    (tenant over its rate/concurrency budget with a full admission queue).
+    Typed so clients can distinguish shed load from real failures."""
+
+    def __init__(self, message: str, tenant: str = "") -> None:
+        super().__init__(message)
+        self.tenant = tenant
+
+
 class TraitNotSupportedError(ReproError):
     """Raised when an inferlet uses an API trait the model does not expose."""
 

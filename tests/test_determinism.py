@@ -8,7 +8,7 @@ the simulator — the property every experiment in this repo rests on.
 
 from dataclasses import asdict
 
-from repro.core import InferletProgram, PieServer
+from repro.core import InferletProgram, PieServer, TenantSpec
 from repro.core.config import ControlLayerConfig, PieConfig
 from repro.gpu.config import GpuConfig
 from repro.sim import Simulator
@@ -36,13 +36,30 @@ def make_agent(index):
     return InferletProgram(name=f"det{index}", main=main, prefix_hint=PROMPT)
 
 
-def run_stack(seed=7, n_agents=6):
-    """Cluster of 2 devices + host KV tier + prefix cache, staggered fleet."""
+def run_stack(seed=7, n_agents=6, qos=False):
+    """Cluster of 2 devices + host KV tier + prefix cache, staggered fleet.
+
+    ``qos=True`` layers the multi-tenant QoS service on top (tenant
+    admission, slack dispatch, class-aware preemption): the determinism
+    guarantee must hold for the full stack, and ``qos=False`` must take
+    the exact pre-QoS code path (no QoS counters, no tenant records).
+    """
     sim = Simulator(seed=seed)
+    tenants = (
+        (
+            TenantSpec(name="fleet", priority_class="interactive"),
+            TenantSpec(name="backfill", priority_class="batch", max_concurrent=2),
+        )
+        if qos
+        else ()
+    )
     config = PieConfig(
         gpu=GpuConfig(num_kv_pages=96, num_devices=2, host_kv_pages=64),
         control=ControlLayerConfig(
-            prefix_cache=True, placement_policy="cache_affinity"
+            prefix_cache=True,
+            placement_policy="cache_affinity",
+            qos=qos,
+            tenants=tenants,
         ),
     )
     server = PieServer(sim, config=config)
@@ -51,13 +68,20 @@ def run_stack(seed=7, n_agents=6):
     for program in programs:
         server.register_program(program)
 
-    async def one(program, delay):
+    async def one(program, delay, tenant):
         await sim.sleep(delay)
-        return await server.run_inferlet(program.name)
+        return await server.run_inferlet(program.name, tenant=tenant)
 
     async def run_all():
         tasks = [
-            sim.create_task(one(p, i * 0.15)) for i, p in enumerate(programs)
+            sim.create_task(
+                one(
+                    p,
+                    i * 0.15,
+                    ("fleet" if i % 2 == 0 else "backfill") if qos else None,
+                )
+            )
+            for i, p in enumerate(programs)
         ]
         return await sim.gather(tasks)
 
@@ -88,6 +112,37 @@ def test_identical_seeded_runs_are_bit_identical():
     # The scenario actually exercises the stack under test.
     assert first["metrics"]["prefix_cache_hits"] > 0
     assert first["metrics"]["swap_outs"] > 0
+
+
+def test_qos_off_is_bit_identical_and_leaves_no_qos_trace():
+    """The qos=off default takes the exact pre-QoS serving path: two
+    seeded runs agree bit-for-bit and no QoS machinery leaves a trace."""
+    first = run_stack(qos=False)
+    second = run_stack(qos=False)
+    assert first["now"] == second["now"]
+    assert first["metrics"] == second["metrics"]
+    for counter in (
+        "qos_admitted",
+        "qos_queued",
+        "qos_rejected",
+        "qos_preemption_swaps",
+        "qos_preemption_terminations",
+    ):
+        assert first["metrics"][counter] == 0, counter
+    assert first["metrics"]["tenants"] == {}
+
+
+def test_qos_on_stack_is_bit_identical():
+    """Determinism holds with the full QoS layer active (admission queue
+    timers, slack scoring, fair-share counters, tenant metrics)."""
+    first = run_stack(qos=True)
+    second = run_stack(qos=True)
+    assert first["now"] == second["now"]
+    assert first["results"] == second["results"]
+    assert first["metrics"] == second["metrics"]
+    # The scenario exercised the QoS machinery, not just its knobs.
+    assert first["metrics"]["qos_admitted"] > 0
+    assert set(first["metrics"]["tenants"]) == {"fleet", "backfill"}
 
 
 def test_different_seeds_still_complete():
