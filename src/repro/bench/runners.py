@@ -21,6 +21,9 @@ def make_pie_setup(
     swap_policy: Optional[str] = None,
     qos: Optional[bool] = None,
     tenants: Optional[Sequence] = None,
+    chunked_prefill: Optional[bool] = None,
+    prefill_chunk_tokens: Optional[int] = None,
+    max_batch_tokens: Optional[int] = None,
 ) -> Tuple[Simulator, PieServer]:
     """Create a simulator + Pie server + standard tool environment.
 
@@ -29,7 +32,9 @@ def make_pie_setup(
     ``config``; see :mod:`repro.core.router`).  ``host_kv_pages`` /
     ``swap_policy`` configure the tiered KV memory subsystem
     (:mod:`repro.core.swap`).  ``qos`` / ``tenants`` enable the
-    multi-tenant QoS service (:mod:`repro.core.qos`).
+    multi-tenant QoS service (:mod:`repro.core.qos`).  ``chunked_prefill``
+    / ``prefill_chunk_tokens`` / ``max_batch_tokens`` configure stall-free
+    token-budget batching (:mod:`repro.core.batching`).
     """
     sim = Simulator(seed=seed)
     server = PieServer(
@@ -42,6 +47,9 @@ def make_pie_setup(
         swap_policy=swap_policy,
         qos=qos,
         tenants=tenants,
+        chunked_prefill=chunked_prefill,
+        prefill_chunk_tokens=prefill_chunk_tokens,
+        max_batch_tokens=max_batch_tokens,
     )
     if with_tools:
         ToolEnvironment(sim, server.external)

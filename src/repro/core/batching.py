@@ -1,4 +1,4 @@
-"""Batch formation: vertical and horizontal batching (§5.2, Figure 4).
+"""Batch formation: vertical, horizontal and token-budget batching (§5.2, Figure 4).
 
 Given the per-queue pending commands, the batcher computes, for every
 command kind, the largest dispatchable batch:
@@ -9,6 +9,15 @@ command kind, the largest dispatchable batch:
   commands from higher-priority queues earlier, skipping commands that
   write-write conflict with already selected ones, and truncating from the
   tail when the backend's maximum batch size would be exceeded.
+* **Token-budget batching (chunked prefill)** — with
+  ``ControlLayerConfig.chunked_prefill`` on, ``forward`` batches are also
+  capped at ``max_batch_tokens`` input tokens (decode rows count one each).
+  A prefill whose prompt exceeds the remaining budget — or the per-slice
+  bound ``prefill_chunk_tokens`` — is *split*: a head slice
+  (:meth:`Command.plan_chunk`) fills the batch while the residual command
+  stays at the queue head, so each dispatched batch mixes decode rows with
+  at most one partial prefill chunk per queue and a long prompt can no
+  longer head-of-line-block the decodes behind it.
 
 The scheduler then picks, among the candidate batches of different kinds,
 the one whose oldest pending command has waited the longest.
@@ -20,6 +29,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core.command_queue import Command, CommandQueue
+from repro.sim.futures import SimFuture
 
 
 @dataclass
@@ -37,6 +47,11 @@ class CandidateBatch:
     def total_rows(self) -> int:
         return sum(command.rows for command in self.commands)
 
+    @property
+    def total_input_tokens(self) -> int:
+        """Input tokens carried by the batch (decode rows count one each)."""
+        return sum(max(1, command.input_tokens) for command in self.commands)
+
     def __len__(self) -> int:
         return len(self.commands)
 
@@ -45,6 +60,9 @@ def form_candidate_batches(
     queues: Sequence[CommandQueue],
     max_batch_rows: int,
     priority_of: Optional[Callable[[CommandQueue], int]] = None,
+    max_batch_tokens: int = 0,
+    prefill_chunk_tokens: int = 0,
+    future_factory: Optional[Callable[[], SimFuture]] = None,
 ) -> Dict[str, CandidateBatch]:
     """Compute the best candidate batch per command kind.
 
@@ -55,6 +73,11 @@ def form_candidate_batches(
     is only a fallback for commands inspected outside batch formation.
     The QoS service supplies a ``priority_of`` that adds a per-class
     stride on top of the queue priority.
+
+    ``max_batch_tokens`` > 0 enables token-budget batching of ``forward``
+    candidates (``prefill_chunk_tokens`` bounds single slices,
+    ``future_factory`` mints the futures of planned head slices); 0 keeps
+    the pre-chunking formation path byte-for-byte.
     """
     runs_by_kind: Dict[str, List[List[Command]]] = {}
     for queue in queues:
@@ -68,31 +91,114 @@ def form_candidate_batches(
 
     candidates: Dict[str, CandidateBatch] = {}
     for kind, runs in runs_by_kind.items():
-        merged = _merge_runs(runs, max_batch_rows)
+        merged = _merge_runs(
+            runs,
+            max_batch_rows,
+            max_batch_tokens=max_batch_tokens if kind == "forward" else 0,
+            prefill_chunk_tokens=prefill_chunk_tokens,
+            future_factory=future_factory,
+        )
         if merged:
             candidates[kind] = CandidateBatch(kind=kind, commands=merged)
     return candidates
 
 
-def _merge_runs(runs: List[List[Command]], max_batch_rows: int) -> List[Command]:
+def _chunkable(command: Command) -> bool:
+    """May this forward command be sliced into a head chunk + residual?
+
+    Only plain multi-token prefills qualify: an explicit attention mask is
+    shaped against the whole input, and an explicit ``okv_offset`` pins
+    where KV lands — both would be silently broken by slicing.  (LoRA
+    adapters apply per token, so adapter forwards slice fine.)
+    """
+    return (
+        command.kind == "forward"
+        and command.parent is None
+        and command.input_tokens > 1
+        and command.payload.get("mask") is None
+        and command.payload.get("okv_offset") is None
+    )
+
+
+def _chunk_reserve(command: Command) -> int:
+    """Tokens the *final* slice must keep: every requested output-hidden
+    slot reads the hidden state of one trailing input token (and a forward
+    needs at least one input)."""
+    return max(1, len(command.payload.get("oemb") or ()))
+
+
+def _merge_runs(
+    runs: List[List[Command]],
+    max_batch_rows: int,
+    max_batch_tokens: int = 0,
+    prefill_chunk_tokens: int = 0,
+    future_factory: Optional[Callable[[], SimFuture]] = None,
+) -> List[Command]:
     """Horizontal batching: merge per-queue runs into one ordered batch."""
     # Higher-priority queues are placed earlier so that tail truncation
     # drops low-priority work first; ties broken by the oldest command.
+    # Within a priority tier, residuals that already received a slice pack
+    # *after* fresh work: decode rows fill the token budget first and the
+    # slice takes the remainder, instead of two residuals claiming the
+    # whole budget and pushing every decode row to the next round.  (With
+    # chunking off no command has ``chunks_taken`` set and the key reduces
+    # to the stock ordering.)
     ordered_runs = sorted(
-        runs, key=lambda run: (-run[0].priority, run[0].issue_time, run[0].command_id)
+        runs,
+        key=lambda run: (
+            -run[0].priority,
+            run[0].chunks_taken > 0,
+            run[0].issue_time,
+            run[0].command_id,
+        ),
     )
     merged: List[Command] = []
     total_rows = 0
+    total_tokens = 0
+    # Accumulated write set of the merged batch: checking each candidate by
+    # set intersection is equivalent to the pairwise ``conflicts_with``
+    # scan (write-write only) without the O(n^2) cost.
+    merged_writes: set = set()
     for run in ordered_runs:
         for command in run:
             if total_rows + command.rows > max_batch_rows:
                 return merged
-            if any(command.conflicts_with(existing) for existing in merged):
+            if command.writes & merged_writes:
                 # A conflicting command blocks the rest of its queue's run
                 # (queue order must be preserved).
                 break
+            if max_batch_tokens:
+                tokens = max(1, command.input_tokens)
+                allowed = max_batch_tokens - total_tokens
+                if prefill_chunk_tokens and command.input_tokens > 1:
+                    allowed = min(allowed, prefill_chunk_tokens)
+                if tokens > allowed:
+                    head = min(allowed, command.input_tokens - _chunk_reserve(command))
+                    if (
+                        _chunkable(command)
+                        and head >= 1
+                        and future_factory is not None
+                    ):
+                        # Slice off a head chunk that fills the budget; the
+                        # residual stays at the queue head and blocks the
+                        # rest of this run (at most one partial prefill
+                        # chunk per queue per batch).
+                        chunk = command.plan_chunk(head, future_factory())
+                        merged.append(chunk)
+                        total_rows += chunk.rows
+                        total_tokens += head
+                        merged_writes |= chunk.writes
+                        break
+                    if merged:
+                        # Doesn't fit and can't be sliced: it waits for a
+                        # batch with more headroom, blocking its own run.
+                        break
+                    # A lone over-budget, unsliceable command must still
+                    # dispatch (the budget can never starve a queue).
+                total_tokens += tokens
             merged.append(command)
             total_rows += command.rows
+            merged_writes |= command.writes
     return merged
 
 

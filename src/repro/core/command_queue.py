@@ -50,11 +50,97 @@ class Command:
     context_tokens: int = 0
     reads: FrozenSet = frozenset()
     writes: FrozenSet = frozenset()
+    # Chunked prefill (repro.core.batching): a head-slice command carries a
+    # reference to the queue-resident original it was sliced from.  The
+    # original (the *residual*) keeps shrinking in place as chunks are
+    # taken, so its ``input_tokens`` is always the true remaining work.
+    parent: Optional["Command"] = None
+    chunks_taken: int = 0
     command_id: int = field(default_factory=lambda: next(_command_ids))
 
     def conflicts_with(self, other: "Command") -> bool:
         """Write-write conflicts prevent two commands from sharing a batch."""
         return bool(self.writes & other.writes)
+
+    # -- chunked prefill ----------------------------------------------------
+
+    @property
+    def is_chunk(self) -> bool:
+        return self.parent is not None
+
+    def plan_chunk(self, n_tokens: int, future: SimFuture) -> "Command":
+        """Create a head-slice command for the first ``n_tokens`` inputs.
+
+        Planning is *pure*: the residual (``self``) is untouched until the
+        batch is actually dispatched (``take_chunk``), so candidate batches
+        that lose the selection round leave no trace.  The slice inherits
+        the residual's issue time (aging and longest-waiting selection see
+        the original command's wait), priority, and read/write sets (so
+        conflict rules treat the slice exactly like the whole command).
+
+        The slice's attention is charged against the context *accumulated
+        so far*: the residual's ``context_tokens`` is a page-capacity bound
+        covering both prior content and the whole remaining prompt, so
+        subtracting the still-uncommitted ``input_tokens`` leaves the prior
+        content plus what earlier slices have already committed.  Chunking
+        therefore re-pays the read of the growing context on every slice —
+        a modeled cost, never a discount.
+        """
+        if n_tokens < 1 or n_tokens >= self.input_tokens:
+            raise SchedulingError(
+                f"invalid chunk of {n_tokens} tokens from a "
+                f"{self.input_tokens}-token forward"
+            )
+        return Command(
+            kind=self.kind,
+            inferlet_id=self.inferlet_id,
+            payload={},
+            future=future,
+            issue_time=self.issue_time,
+            queue_key=self.queue_key,
+            priority=self.priority,
+            rows=1,
+            input_tokens=n_tokens,
+            context_tokens=max(0, self.context_tokens - self.input_tokens),
+            reads=self.reads,
+            writes=self.writes,
+            parent=self,
+        )
+
+    def take_chunk(self, head: "Command", now: float) -> None:
+        """Apply a planned split at dispatch time.
+
+        The head slice receives the first ``head.input_tokens`` input
+        embeddings (and never the output-hidden slots or an explicit write
+        offset — KV commits through the handler's auto-offset, which lands
+        each chunk's tokens after the ones committed so far).  The residual
+        keeps everything else and *stays at the queue head*, preserving
+        vertical-batching order; its attention estimate grows by the tokens
+        the head will have committed by the time the residual runs.
+
+        The residual's wait clock restarts at ``now``: it just received a
+        slice of service, so for longest-waiting selection, t_only ripeness
+        and QoS aging it counts as freshly re-arrived.  Without this reset
+        the residual stays the oldest command in the system and the forward
+        kind wins every selection round, starving the embed/sample batches
+        the co-running decodes need — the exact head-of-line blocking
+        chunking is meant to remove, re-created one layer up.
+        """
+        if head.parent is not self:
+            raise SchedulingError("chunk applied to a command it was not sliced from")
+        n = head.input_tokens
+        iemb = self.payload["iemb"]
+        if not 0 < n < len(iemb):
+            raise SchedulingError("chunk no longer fits its residual command")
+        head.payload = dict(self.payload, iemb=iemb[:n], oemb=[], okv_offset=None)
+        self.payload["iemb"] = iemb[n:]
+        self.input_tokens = len(self.payload["iemb"])
+        # ``context_tokens`` stays put: it is the page-capacity estimate of
+        # the gathered context, which already upper-bounds the tokens the
+        # earlier slices will have committed — every slice is charged its
+        # attention term against that accumulated-context bound.
+        self.chunks_taken += 1
+        self.issue_time = now
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Command #{self.command_id} {self.kind} from {self.inferlet_id}>"
@@ -93,14 +179,19 @@ class CommandQueue:
         with each other.
         """
         run: List[Command] = []
+        # Accumulated write set of the run so far: checking each candidate
+        # against it by intersection is equivalent to pairwise
+        # ``conflicts_with`` (write-write only) without the O(n^2) scan.
+        run_writes: set = set()
         for command in self._pending:
             if len(run) >= max_commands:
                 break
             if run and command.kind != run[0].kind:
                 break
-            if any(command.conflicts_with(existing) for existing in run):
+            if command.writes & run_writes:
                 break
             run.append(command)
+            run_writes |= command.writes
         return run
 
     def pop_commands(self, commands: List[Command]) -> None:
@@ -110,6 +201,19 @@ class CommandQueue:
                 raise SchedulingError("dispatched commands must form a queue prefix")
             self._pending.popleft()
             self._inflight += 1
+
+    def drop_head(self, command: Command) -> bool:
+        """Abandon a pending head command (a forward whose slice failed).
+
+        Removes it without dispatching and credits any synchronize
+        barriers counting it, exactly as completion would — the caller has
+        already delivered the failure through the command's future."""
+        if not self._pending or self._pending[0] is not command:
+            return False
+        self._pending.popleft()
+        self._completed += 1
+        self._resolve_barriers()
+        return True
 
     def drain_pending(self) -> List[Command]:
         """Remove and return every still-pending command (queue teardown)."""

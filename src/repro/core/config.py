@@ -91,6 +91,22 @@ class ControlLayerConfig:
     # (LRU leaves are evicted beyond it); 0 means unbounded, leaving
     # eviction/demotion to the memory-pressure reclamation ladder.
     prefix_cache_max_pages: int = 0
+    # Chunked prefill / stall-free batching (repro.core.batching): when
+    # True, batch formation enforces a token budget alongside the row
+    # limit and a forward command whose prompt exceeds the remaining
+    # budget is *split* — a head slice fills the batch while the residual
+    # stays at the queue head — so decode rows ride alongside sliced
+    # prefills instead of stalling behind whole prompts.  Off by default —
+    # the serving path is then bit-identical to the pre-chunking system.
+    chunked_prefill: bool = False
+    # Largest prefill slice a single batch may carry (tokens).  Smaller
+    # chunks bound decode-latency interference more tightly but pay the
+    # per-batch floor and the re-read attention term more often.
+    prefill_chunk_tokens: int = 128
+    # Token budget per formed batch (decode rows count 1 each, prefill
+    # rows their input tokens).  0 falls back to GpuConfig.max_batch_tokens.
+    # Only enforced while chunked_prefill is True.
+    max_batch_tokens: int = 0
     # Multi-tenant QoS (repro.core.qos): when True, launches pass tenant
     # admission control (token-bucket rate + concurrency caps), candidate
     # batches are scored by class-weighted slack-to-deadline instead of
@@ -149,6 +165,10 @@ class PieConfig:
             raise ReproError("swap_min_pages must be at least 1")
         if self.control.prefix_cache_max_pages < 0:
             raise ReproError("prefix_cache_max_pages must be non-negative")
+        if self.control.prefill_chunk_tokens < 1:
+            raise ReproError("prefill_chunk_tokens must be at least 1")
+        if self.control.max_batch_tokens < 0:
+            raise ReproError("max_batch_tokens must be non-negative (0 = gpu default)")
         if self.control.qos_default_class not in QOS_CLASSES:
             raise ReproError(
                 f"unknown qos_default_class {self.control.qos_default_class!r}; "

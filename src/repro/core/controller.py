@@ -189,6 +189,7 @@ class Controller:
                 self.config.scheduler,
                 self.config.gpu,
                 self.config.control,
+                metrics=self.metrics,
             )
             resources = ResourceManager(
                 memory, model_name=entry.name, host_pool=host_pool

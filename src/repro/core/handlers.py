@@ -121,6 +121,17 @@ class ApiHandlers:
     # -- forward handler -------------------------------------------------------------
 
     def _run_forward(self, payload: Dict[str, Any]) -> int:
+        """Execute one forward row (whole command or chunked-prefill slice).
+
+        Chunked prefill (repro.core.batching) relies on two properties of
+        this handler, both stateful through device memory rather than the
+        payload: the gathered context includes every token *committed so
+        far* into the input pages — so a later slice attends to the KV its
+        predecessors wrote — and the auto-offset in :meth:`_write_kv`
+        (``sum(num_valid)``) lands each slice's KV right after them.  A
+        slice therefore needs no extra bookkeeping here; the scheduler only
+        resolves the caller's future when the final slice completes.
+        """
         ikv: List[int] = payload.get("ikv", [])
         iemb: List[int] = payload.get("iemb", [])
         okv: List[int] = payload.get("okv", [])

@@ -161,6 +161,13 @@ class SystemMetrics:
     # Input tokens actually processed by forward commands (prefill +
     # decode); with the prefix cache on, saved tokens never reach here.
     forward_input_tokens: int = 0
+    # Chunked prefill / token-budget batching (repro.core.batching):
+    # prefill head slices dispatched, decode rows that shared a batch with
+    # at least one slice, and the modeled head-of-line stall those decode
+    # rows did not pay.  All zero with ``chunked_prefill`` off.
+    prefill_chunks_dispatched: int = 0
+    decode_rows_co_batched: int = 0
+    chunk_stall_saved_seconds: float = 0.0
     # Automatic prefix cache (repro.core.prefix_cache): hit/miss counts
     # per matchable forward, prefill tokens skipped via reuse, pages
     # adopted into the index, LRU evictions, demotions to the host tier

@@ -423,7 +423,7 @@ class QosService:
     def _urgency_key(self, batch: CandidateBatch, now: float) -> Tuple:
         oldest = batch.oldest_issue_time
         if now - oldest >= self.aging_s:
-            return (0, oldest, 0.0, batch.kind)
+            return (0, oldest, 0.0, 0, 0, batch.kind)
         slack = self._min_weighted_slack(batch, now)
         vtime = min(
             (
@@ -435,7 +435,11 @@ class QosService:
             ),
             default=0.0,
         )
-        return (1, slack, vtime, oldest, batch.kind)
+        # Final tie-break: true remaining work.  With chunked prefill on, a
+        # sliced forward's residual shrinks in place, so ``input_tokens``
+        # is what the command still owes the device — a nearly-finished
+        # prompt beats an untouched one at equal slack.
+        return (1, slack, vtime, oldest, batch.total_input_tokens, batch.kind)
 
     def _batch_instances(self, batch: CandidateBatch) -> List["InferletInstance"]:
         instances = []
@@ -464,7 +468,12 @@ class QosService:
         return (len(QOS_CLASSES) - 1 - rank) * 2 * _CLASS_PRIORITY_STRIDE + bias
 
     def note_dispatched(self, commands: List) -> None:
-        """Charge dispatched work to tenant fair-share counters."""
+        """Charge dispatched work to tenant fair-share counters.
+
+        A chunked prefill is charged slice by slice (each head slice
+        carries its own ``input_tokens``), so a tenant pays for exactly
+        the prompt tokens the device has processed so far, not the whole
+        prompt up front."""
         for command in commands:
             state = self._state_of(command.inferlet_id)
             if state is None:

@@ -214,6 +214,9 @@ def aggregate_scheduler_stats(stats: Sequence[SchedulerStats]) -> SchedulerStats
         total.batches_dispatched += record.batches_dispatched
         total.commands_dispatched += record.commands_dispatched
         total.reclamation_terminations += record.reclamation_terminations
+        total.prefill_chunks_dispatched += record.prefill_chunks_dispatched
+        total.decode_rows_co_batched += record.decode_rows_co_batched
+        total.chunk_stall_saved_seconds += record.chunk_stall_saved_seconds
         for kind, count in record.batches_by_kind.items():
             total.batches_by_kind[kind] = total.batches_by_kind.get(kind, 0) + count
         total.batch_sizes.extend(record.batch_sizes)

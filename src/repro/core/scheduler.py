@@ -41,6 +41,13 @@ class SchedulerStats:
     # Inferlets killed by FCFS reclamation on this shard (terminate-last
     # under the tiered-KV policy; every kill destroys computed KV state).
     reclamation_terminations: int = 0
+    # Chunked prefill (token-budget batching): head slices dispatched,
+    # decode rows that shared a batch with at least one slice, and the
+    # modeled stall time those decode rows did not spend waiting for the
+    # sliced prompts' remaining tokens.  All zero with the knob off.
+    prefill_chunks_dispatched: int = 0
+    decode_rows_co_batched: int = 0
+    chunk_stall_saved_seconds: float = 0.0
 
     def record(self, batch: CandidateBatch) -> None:
         self.batches_dispatched += 1
@@ -66,6 +73,7 @@ class BatchScheduler:
         scheduler_config: SchedulerConfig,
         gpu_config: GpuConfig,
         control_config: ControlLayerConfig,
+        metrics=None,
     ) -> None:
         self.sim = sim
         self.device = device
@@ -73,9 +81,17 @@ class BatchScheduler:
         self.config = scheduler_config
         self.gpu_config = gpu_config
         self.control_config = control_config
+        # System-wide counters (repro.core.metrics.SystemMetrics); the
+        # scheduler mirrors its chunk counters there so experiments can
+        # read one aggregate without walking shards.  None in unit tests.
+        self.metrics = metrics
         self.stats = SchedulerStats()
         self._queues: Dict[Any, CommandQueue] = {}
         self._flush_scheduled = False
+        self._timeout_flush_armed = False
+        # Timer-storm regression guard: number of t_only flush events ever
+        # scheduled (tests assert it stays O(flushes), not O(submits)).
+        self.timeout_timers_armed = 0
         self._adaptive_dispatch_pending = False
         # Admission guard (tiered KV memory): owners whose pages are swapped
         # out to the host tier must not have commands dispatched until their
@@ -213,16 +229,54 @@ class BatchScheduler:
     # -- policy implementations -------------------------------------------------------
 
     def _form_candidates(self) -> Dict[str, CandidateBatch]:
+        # Token-budget batching only engages with the chunked_prefill knob
+        # on; the 0 default keeps formation byte-identical to the
+        # pre-chunking system.
+        max_batch_tokens = 0
+        prefill_chunk_tokens = 0
+        future_factory = None
+        if self.control_config.chunked_prefill:
+            max_batch_tokens = (
+                self.control_config.max_batch_tokens or self.gpu_config.max_batch_tokens
+            )
+            prefill_chunk_tokens = self.control_config.prefill_chunk_tokens
+            future_factory = lambda: self.sim.create_future(name="prefill-chunk")
         return form_candidate_batches(
             self._dispatchable_queues(),
             self.gpu_config.max_batch_rows,
             priority_of=self._qos.queue_priority if self._qos is not None else None,
+            max_batch_tokens=max_batch_tokens,
+            prefill_chunk_tokens=prefill_chunk_tokens,
+            future_factory=future_factory,
         )
 
     def _select(self, candidates: Dict[str, CandidateBatch]) -> Optional[CandidateBatch]:
+        candidates = self._yield_lone_chunks(candidates)
         if self._qos is not None:
             return self._qos.select_batch(candidates)
         return select_longest_waiting(candidates)
+
+    def _yield_lone_chunks(
+        self, candidates: Dict[str, CandidateBatch]
+    ) -> Dict[str, CandidateBatch]:
+        """A forward candidate made only of prefill slices yields its turn.
+
+        Sliced prefills exist to *share* batches with other work; a
+        chunk-only candidate dispatched between decode rounds would insert
+        an extra weight-bound floor per round — the head-of-line stall
+        chunking removes, re-created as throughput loss.  With other kinds
+        pending, the slices wait for the next mixed forward batch (or for
+        an idle device, where they dispatch alone and keep a newly arriving
+        inferlet's wait bounded by one chunk).  Starvation-free: every
+        mixed forward batch serves the residual a slice, and with nothing
+        else pending the slices dispatch immediately.
+        """
+        if len(candidates) <= 1:
+            return candidates
+        forward = candidates.get("forward")
+        if forward is None or not all(c.is_chunk for c in forward.commands):
+            return candidates
+        return {kind: batch for kind, batch in candidates.items() if kind != "forward"}
 
     def _dispatch_best(self) -> None:
         batch = self._select(self._form_candidates())
@@ -262,10 +316,23 @@ class BatchScheduler:
             self._dispatch_best()
             self._arm_safety_flush()
 
-    def _arm_timeout_flush(self) -> None:
-        self.sim.schedule(milliseconds(self.config.t_timeout_ms), self._timeout_flush)
+    def _arm_timeout_flush(self, delay_seconds: Optional[float] = None) -> None:
+        # One armed timer at a time, keyed to the oldest pending command:
+        # arming on every submit (the old behaviour) scheduled a sim event
+        # per command and turned a busy t_only deployment into a timer
+        # storm.  A single timer fires no later than the unconditional
+        # per-submit one would have, and re-arms itself for the next oldest
+        # command after each flush.
+        if self._timeout_flush_armed:
+            return
+        self._timeout_flush_armed = True
+        self.timeout_timers_armed += 1
+        if delay_seconds is None:
+            delay_seconds = milliseconds(self.config.t_timeout_ms)
+        self.sim.schedule(delay_seconds, self._timeout_flush)
 
     def _timeout_flush(self) -> None:
+        self._timeout_flush_armed = False
         now = self.sim.now
         deadline = milliseconds(self.config.t_timeout_ms)
         candidates = self._form_candidates()
@@ -277,12 +344,39 @@ class BatchScheduler:
         batch = self._select(ripe)
         if batch is not None:
             self._dispatch(batch)
+        if self.total_pending:
+            # Re-arm for the oldest command that could actually dispatch;
+            # with every pending owner suspended (dispatch guard), poll a
+            # full deadline out instead of spinning at delay zero.
+            pending_times = [
+                queue.oldest_pending_time
+                for queue in self._dispatchable_queues()
+                if queue.pending_count
+            ]
+            if pending_times and batch is None and now - min(pending_times) >= deadline - 1e-12:
+                # Everything ripe was unformable this round (e.g. blocked
+                # by conflicts); retry a full deadline later, not now.
+                self._arm_timeout_flush()
+            elif pending_times:
+                self._arm_timeout_flush(max(0.0, min(pending_times) + deadline - now))
+            else:
+                self._arm_timeout_flush()
 
     # -- dispatch --------------------------------------------------------------------------
 
     def _dispatch(self, batch: CandidateBatch) -> None:
-        for queue_key, run in self._group_by_queue(batch.commands).items():
+        # Head slices of chunked prefills are not queue residents: their
+        # residual stays at the queue head (so later commands keep their
+        # order and synchronize barriers keep counting one command), and
+        # only the slice itself ships with this batch.
+        chunks = [command for command in batch.commands if command.is_chunk]
+        whole = [command for command in batch.commands if not command.is_chunk]
+        for queue_key, run in self._group_by_queue(whole).items():
             self.get_queue(queue_key).pop_commands(run)
+        for chunk in chunks:
+            chunk.parent.take_chunk(chunk, self.sim.now)
+        if chunks:
+            self._record_chunks(batch, chunks)
         self.stats.record(batch)
         if self._qos is not None:
             self._qos.note_dispatched(batch.commands)
@@ -297,6 +391,30 @@ class BatchScheduler:
         )
         future.add_done_callback(lambda fut, batch=batch: self._on_batch_done(batch, fut))
 
+    def _record_chunks(self, batch: CandidateBatch, chunks: List[Command]) -> None:
+        """Account one batch that carries sliced-prefill head chunks.
+
+        The stall saved is the modeled time each co-batched decode row
+        would otherwise have spent waiting for the sliced prompts' *still
+        remaining* tokens — the residual's ``input_tokens`` after the slice
+        was taken, charged at the prefill rate."""
+        decode_rows = sum(
+            1
+            for command in batch.commands
+            if not command.is_chunk and command.input_tokens <= 1
+        )
+        remaining = sum(chunk.parent.input_tokens for chunk in chunks)
+        saved = decode_rows * milliseconds(
+            self.handlers.cost_model.cost.prefill_ms_per_token * remaining
+        )
+        self.stats.prefill_chunks_dispatched += len(chunks)
+        self.stats.decode_rows_co_batched += decode_rows
+        self.stats.chunk_stall_saved_seconds += saved
+        if self.metrics is not None:
+            self.metrics.prefill_chunks_dispatched += len(chunks)
+            self.metrics.decode_rows_co_batched += decode_rows
+            self.metrics.chunk_stall_saved_seconds += saved
+
     @staticmethod
     def _group_by_queue(commands: List[Command]) -> Dict[Any, List[Command]]:
         grouped: Dict[Any, List[Command]] = {}
@@ -308,6 +426,31 @@ class BatchScheduler:
         error = future.exception()
         results = future.result() if error is None else None
         for index, command in enumerate(batch.commands):
+            if command.is_chunk:
+                # A head slice completes *silently*: its residual is still
+                # pending, so queue accounting (inflight counts, barriers)
+                # and the caller's future wait for the final slice.  A
+                # failing slice, though, fails the whole forward now — the
+                # residual would only compound the damage.
+                failure = error
+                if failure is None and isinstance(results[index], BaseException):
+                    failure = results[index]
+                if failure is not None:
+                    if not command.parent.future.done():
+                        command.parent.future.set_exception(failure)
+                    # Drop the residual too: its KV now has a hole where
+                    # the failed slice's tokens never committed, so every
+                    # further slice would waste device time building on
+                    # corrupt context.
+                    queue = self._queues.get(command.queue_key)
+                    if queue is not None:
+                        queue.drop_head(command.parent)
+                if not command.future.done():
+                    if failure is not None:
+                        command.future.set_exception(failure)
+                    else:
+                        command.future.set_result(results[index])
+                continue
             queue = self._queues.get(command.queue_key)
             if queue is not None:
                 queue.mark_completed()

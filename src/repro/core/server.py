@@ -54,6 +54,9 @@ class PieServer:
         prefix_cache: Optional[bool] = None,
         qos: Optional[bool] = None,
         tenants: Optional[Sequence] = None,
+        chunked_prefill: Optional[bool] = None,
+        prefill_chunk_tokens: Optional[int] = None,
+        max_batch_tokens: Optional[int] = None,
     ) -> None:
         self.sim = sim
         config = config or PieConfig()
@@ -86,6 +89,19 @@ class PieServer:
                 qos = True  # registering tenants implies the QoS service
         if qos is not None:
             config = replace(config, control=replace(config.control, qos=qos))
+        if chunked_prefill is not None:
+            config = replace(
+                config, control=replace(config.control, chunked_prefill=chunked_prefill)
+            )
+        if prefill_chunk_tokens is not None:
+            config = replace(
+                config,
+                control=replace(config.control, prefill_chunk_tokens=prefill_chunk_tokens),
+            )
+        if max_batch_tokens is not None:
+            config = replace(
+                config, control=replace(config.control, max_batch_tokens=max_batch_tokens)
+            )
         self.config = config
         registry = ModelRegistry(models or ["llama-sim-1b"])
         self.registry = registry

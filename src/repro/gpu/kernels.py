@@ -110,3 +110,27 @@ class KernelCostModel:
     def prefill_ms(self, n_tokens: int) -> float:
         """Approximate prefill time for an ``n_tokens`` prompt (ms)."""
         return self.forward_batch_cost([ForwardRow(n_input_tokens=n_tokens)]) * 1e3
+
+    def chunked_prefill_ms(
+        self, n_tokens: int, chunk_tokens: int, context_tokens: int = 0
+    ) -> float:
+        """Modeled prefill time when sliced into ``chunk_tokens`` chunks (ms).
+
+        Each slice is a full forward dispatch: it pays the weight-bound
+        floor again and an attention term against the context accumulated
+        so far (the slices before it plus ``context_tokens``) — chunking is
+        therefore a modeled *cost* in total device time, never a discount.
+        Its win is latency: decode rows ride alongside each slice instead
+        of stalling for the whole prompt (see ``repro.core.batching``).
+        """
+        if chunk_tokens < 1:
+            raise ValueError("chunk_tokens must be at least 1")
+        total = 0.0
+        done = 0
+        while done < n_tokens:
+            take = min(chunk_tokens, n_tokens - done)
+            total += self.forward_batch_cost(
+                [ForwardRow(n_input_tokens=take, context_tokens=context_tokens + done)]
+            )
+            done += take
+        return total * 1e3

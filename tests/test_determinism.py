@@ -36,13 +36,15 @@ def make_agent(index):
     return InferletProgram(name=f"det{index}", main=main, prefix_hint=PROMPT)
 
 
-def run_stack(seed=7, n_agents=6, qos=False):
+def run_stack(seed=7, n_agents=6, qos=False, chunked=False):
     """Cluster of 2 devices + host KV tier + prefix cache, staggered fleet.
 
     ``qos=True`` layers the multi-tenant QoS service on top (tenant
     admission, slack dispatch, class-aware preemption): the determinism
     guarantee must hold for the full stack, and ``qos=False`` must take
     the exact pre-QoS code path (no QoS counters, no tenant records).
+    ``chunked=True`` additionally slices prefills under a small token
+    budget (chunked prefill), with the same off-knob guarantee.
     """
     sim = Simulator(seed=seed)
     tenants = (
@@ -60,6 +62,10 @@ def run_stack(seed=7, n_agents=6, qos=False):
             placement_policy="cache_affinity",
             qos=qos,
             tenants=tenants,
+            chunked_prefill=chunked,
+            # Small enough that the ~40-token fleet prompts actually slice.
+            prefill_chunk_tokens=16,
+            max_batch_tokens=24,
         ),
     )
     server = PieServer(sim, config=config)
@@ -143,6 +149,41 @@ def test_qos_on_stack_is_bit_identical():
     # The scenario exercised the QoS machinery, not just its knobs.
     assert first["metrics"]["qos_admitted"] > 0
     assert set(first["metrics"]["tenants"]) == {"fleet", "backfill"}
+
+
+def test_chunked_off_default_leaves_no_chunk_trace():
+    """chunked_prefill=False (the default) must never touch the chunking
+    machinery: the counters stay zero on the full-stack run."""
+    run = run_stack(chunked=False)
+    for counter in (
+        "prefill_chunks_dispatched",
+        "decode_rows_co_batched",
+        "chunk_stall_saved_seconds",
+    ):
+        assert run["metrics"][counter] == 0, counter
+
+
+def test_chunked_on_stack_is_bit_identical():
+    """Determinism holds with chunked prefill slicing live on the full
+    cluster + swap + prefix-cache stack (and the slices really happen)."""
+    first = run_stack(chunked=True)
+    second = run_stack(chunked=True)
+    assert first["now"] == second["now"]
+    assert first["results"] == second["results"]
+    assert first["metrics"] == second["metrics"]
+    assert first["metrics"]["prefill_chunks_dispatched"] > 0
+
+
+def test_chunked_and_qos_stack_is_bit_identical():
+    """The full stack with *every* subsystem on: QoS admission/dispatch
+    plus chunked prefill must still be deterministic run-to-run."""
+    first = run_stack(qos=True, chunked=True)
+    second = run_stack(qos=True, chunked=True)
+    assert first["now"] == second["now"]
+    assert first["results"] == second["results"]
+    assert first["metrics"] == second["metrics"]
+    assert first["metrics"]["prefill_chunks_dispatched"] > 0
+    assert first["metrics"]["qos_admitted"] > 0
 
 
 def test_different_seeds_still_complete():
