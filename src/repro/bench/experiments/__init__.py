@@ -21,4 +21,9 @@ Beyond the paper:
 * ``qos``                  — multi-tenant QoS: SLO-aware admission,
   slack dispatch and class-aware preemption vs undifferentiated FCFS
   for a batch + interactive mixed-tenant workload.
+* ``chunked_prefill``      — token-budget batching: sliced prefills
+  co-batched with decode rows vs monolithic prompts on one device.
+* ``disaggregation``       — prefill/decode shard roles with overlapped
+  KV-page streaming and live handoff vs the strongest co-located
+  (least_loaded + chunked prefill) cluster.
 """

@@ -1,0 +1,264 @@
+"""Prefill/decode disaggregation at cluster scale (beyond the paper).
+
+An 8-device cluster serves two populations at once: *summarizer* agents
+that keep arriving with multi-thousand-token documents, and *interactive
+chat* inferlets streaming tokens in a closed decode loop.  The baseline is
+the strongest co-located configuration this repo has — ``least_loaded``
+placement with chunked prefill on every shard — so decode rows already
+never stall behind whole prompts.  They still share every mixed batch with
+a prefill slice: each co-batched chunk adds its token time to the batch,
+and at the paper's chunk sizes that interference is the dominant term in
+the decode-side inter-token gap.
+
+With ``disaggregation`` on (:mod:`repro.core.transfer`), the cluster
+splits into prefill and decode roles.  New inferlets land on a prefill
+shard, chew their prompt there (still chunked), stream committed KV pages
+to a decode shard over a modeled NVLink-class link *while the prefill tail
+runs*, and migrate at their first sampled token.  Decode shards therefore
+run pure-decode batches: no chunk ever shares a batch with a chat's
+decode row.
+
+The headline gate:
+
+* decode-side p99 inter-token gap strictly better than the
+  chunked-prefill baseline (measured inside the chat inferlets with
+  ``ctx.now()``, *excluding* each stream's first generated token — the
+  handoff stall is TTFT-domain, the steady-state cadence is what decode
+  shards exist to protect),
+* cluster goodput (total output tokens / elapsed) >= 0.95x the baseline,
+* generated tokens identical in both arms (migration copies KV and embed
+  state content-exactly; sampling uses the per-instance rng).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.bench.reporting import ExperimentResult
+from repro.bench.runners import make_pie_setup
+from repro.core import InferletProgram
+from repro.core.metrics import percentile
+from repro.support import Context, SamplingParams
+
+#: Cluster size and role split used by the disaggregated arm.
+NUM_DEVICES = 8
+PREFILL_SHARDS = 2
+#: Interactive decode stream length (tokens per chat inferlet).
+CHAT_TURN_TOKENS = 48
+#: Long-document prompt length (tokens per summarizer).
+SUMMARIZER_PROMPT_TOKENS = 2048
+#: Chunked prefill is on in *both* arms: slice bound and batch budget.
+PREFILL_CHUNK_TOKENS = 256
+MAX_BATCH_TOKENS = 320
+
+
+def _make_summarizer(index: int, prompt_tokens: int) -> InferletProgram:
+    """A long-prompt agent: prefill a document, emit a short summary."""
+
+    async def main(ctx):
+        context = Context(ctx, sampling=SamplingParams())
+        await context.fill([(index * 11 + i) % 250 for i in range(prompt_tokens)])
+        await context.generate_until(max_tokens=4)
+        summary = list(context.generated_ids)
+        context.free()
+        return summary
+
+    return InferletProgram(
+        name=f"summarizer_{index}",
+        main=main,
+        description="long-document summarizer (disaggregation experiment)",
+        requirements=("R1",),
+    )
+
+
+def _make_chat(index: int, n_tokens: int) -> InferletProgram:
+    """An interactive chat turn measuring its steady-state decode cadence.
+
+    The first generated token is sampled *before* the clock starts: for a
+    disaggregated run it carries the one-off handoff stall (a TTFT
+    component), and the metric under test is the inter-token gap of the
+    established decode stream."""
+
+    async def main(ctx):
+        context = Context(ctx, sampling=SamplingParams())
+        await context.fill(f"User: quick question number {index}? ")
+        await context.generate_once()  # first token: excluded from gaps
+        gaps: List[float] = []
+        last = ctx.now()
+        for _ in range(n_tokens - 1):
+            await context.generate_once()
+            now = ctx.now()
+            gaps.append(now - last)
+            last = now
+        tokens = list(context.generated_ids)
+        context.free()
+        return {"gaps": gaps, "tokens": tokens}
+
+    return InferletProgram(
+        name=f"chat_{index}",
+        main=main,
+        description="interactive chat stream (disaggregation experiment)",
+        requirements=("R1",),
+    )
+
+
+def run_fleet(
+    disaggregated: bool,
+    n_summarizers: int = 8,
+    n_chats: int = 16,
+    prompt_tokens: int = SUMMARIZER_PROMPT_TOKENS,
+    chat_tokens: int = CHAT_TURN_TOKENS,
+    num_devices: int = NUM_DEVICES,
+    prefill_shards: int = PREFILL_SHARDS,
+    summarizer_start_s: float = 0.05,
+    summarizer_stagger_s: float = 0.25,
+    chat_start_s: float = 0.01,
+    chat_stagger_s: float = 0.05,
+    seed: int = 3,
+) -> Dict:
+    """Run the mixed cluster workload; returns summary counters.
+
+    Both arms run chunked prefill under the same budgets; the only
+    difference is co-located ``least_loaded`` placement vs dedicated
+    shard roles with KV-page streaming.  Summarizer arrivals are
+    staggered so prefill work is in flight for most of the chats' steady
+    state.
+    """
+    sim, server = make_pie_setup(
+        seed=seed,
+        with_tools=False,
+        num_devices=num_devices,
+        placement_policy=None if disaggregated else "least_loaded",
+        disaggregation=True if disaggregated else None,
+        prefill_shards=prefill_shards if disaggregated else None,
+        chunked_prefill=True,
+        prefill_chunk_tokens=PREFILL_CHUNK_TOKENS,
+        max_batch_tokens=MAX_BATCH_TOKENS,
+    )
+    summarizers = [_make_summarizer(i, prompt_tokens) for i in range(n_summarizers)]
+    chats = [_make_chat(i, chat_tokens) for i in range(n_chats)]
+    for program in summarizers + chats:
+        server.register_program(program)
+
+    async def one(name: str, delay: float):
+        await sim.sleep(delay)
+        return await server.run_inferlet(name)
+
+    async def run_all():
+        tasks = [
+            sim.create_task(one(p.name, summarizer_start_s + i * summarizer_stagger_s))
+            for i, p in enumerate(summarizers)
+        ]
+        tasks += [
+            sim.create_task(one(p.name, chat_start_s + i * chat_stagger_s))
+            for i, p in enumerate(chats)
+        ]
+        return await sim.gather(tasks)
+
+    results = sim.run_until_complete(run_all())
+    elapsed = sim.now
+    metrics = server.metrics
+
+    chat_results = [r for r in results if isinstance(r.result, dict) and "gaps" in r.result]
+    summarizer_outputs = [
+        r.result for r in results if not (isinstance(r.result, dict) and "gaps" in r.result)
+    ]
+    decode_gaps = sorted(g for r in chat_results for g in r.result["gaps"])
+    prefill_decode_rows = 0
+    decode_decode_rows = 0
+    for shard in server.service().shards:
+        if shard.role == "prefill":
+            prefill_decode_rows += shard.scheduler.stats.decode_rows_dispatched
+        else:
+            decode_decode_rows += shard.scheduler.stats.decode_rows_dispatched
+    return {
+        "disaggregated": disaggregated,
+        "finished": sum(1 for r in results if r.status == "finished"),
+        "elapsed": elapsed,
+        "total_output_tokens": metrics.total_output_tokens,
+        "token_throughput": metrics.total_output_tokens / elapsed if elapsed else 0.0,
+        "decode_gap_p50": percentile(decode_gaps, 50),
+        "decode_gap_p99": percentile(decode_gaps, 99),
+        "handoffs": metrics.disagg_handoffs,
+        "handoff_failures": metrics.disagg_handoff_failures,
+        "pages_streamed": metrics.disagg_pages_streamed,
+        "pages_tail": metrics.disagg_pages_tail,
+        "bytes_streamed": metrics.disagg_bytes_streamed,
+        "handoff_stall_seconds": metrics.disagg_handoff_stall_seconds,
+        "prefill_shard_decode_rows": prefill_decode_rows,
+        "decode_shard_decode_rows": decode_decode_rows,
+        "forward_input_tokens": metrics.forward_input_tokens,
+        "summarizer_outputs": summarizer_outputs,
+        "chat_outputs": [r.result["tokens"] for r in chat_results],
+    }
+
+
+def headline(baseline: Dict, disagg: Dict) -> Dict:
+    """The numbers the benchmark asserts on (and exports as an artifact)."""
+    return {
+        "decode_p99_baseline_ms": baseline["decode_gap_p99"] * 1e3,
+        "decode_p99_disagg_ms": disagg["decode_gap_p99"] * 1e3,
+        "decode_p99_speedup": (
+            baseline["decode_gap_p99"] / disagg["decode_gap_p99"]
+            if disagg["decode_gap_p99"]
+            else 0.0
+        ),
+        "decode_p50_baseline_ms": baseline["decode_gap_p50"] * 1e3,
+        "decode_p50_disagg_ms": disagg["decode_gap_p50"] * 1e3,
+        "goodput_baseline_tok_s": baseline["token_throughput"],
+        "goodput_disagg_tok_s": disagg["token_throughput"],
+        "goodput_ratio": (
+            disagg["token_throughput"] / baseline["token_throughput"]
+            if baseline["token_throughput"]
+            else 0.0
+        ),
+        "handoffs": disagg["handoffs"],
+        "pages_streamed": disagg["pages_streamed"],
+        "pages_tail": disagg["pages_tail"],
+        "handoff_stall_ms_total": disagg["handoff_stall_seconds"] * 1e3,
+    }
+
+
+def run(quick: bool = True) -> ExperimentResult:
+    n_summarizers = 8 if quick else 12
+    n_chats = 16 if quick else 24
+    result = ExperimentResult(
+        name="Prefill/decode disaggregation",
+        description=(
+            f"{NUM_DEVICES} devices, {n_summarizers} summarizers "
+            f"({SUMMARIZER_PROMPT_TOKENS}-token prompts) over {n_chats} "
+            f"interactive chats: least_loaded + chunked prefill everywhere vs "
+            f"{PREFILL_SHARDS} prefill / {NUM_DEVICES - PREFILL_SHARDS} decode "
+            f"shard roles with overlapped KV-page streaming"
+        ),
+    )
+    rows = {}
+    for label, disaggregated in (("colocated", False), ("disaggregated", True)):
+        row = run_fleet(disaggregated, n_summarizers=n_summarizers, n_chats=n_chats)
+        rows[label] = row
+        result.add_row(
+            config=label,
+            decode_gap_p50_ms=row["decode_gap_p50"] * 1e3,
+            decode_gap_p99_ms=row["decode_gap_p99"] * 1e3,
+            goodput_tok_s=row["token_throughput"],
+            handoffs=row["handoffs"],
+            pages_streamed=row["pages_streamed"],
+            pages_tail=row["pages_tail"],
+            stall_s=row["handoff_stall_seconds"],
+            elapsed_s=row["elapsed"],
+        )
+    result.raw = rows
+    head = headline(rows["colocated"], rows["disaggregated"])
+    result.add_note(
+        "Beyond the paper: dedicated shard roles take prefill interference "
+        "out of the decode path entirely — steady-state decode p99 gap "
+        f"{head['decode_p99_baseline_ms']:.2f} -> "
+        f"{head['decode_p99_disagg_ms']:.2f} ms "
+        f"({head['decode_p99_speedup']:.2f}x) at {head['goodput_ratio']:.3f}x "
+        f"cluster goodput; {head['handoffs']} live migrations streamed "
+        f"{head['pages_streamed']} KV pages ahead of their handoff "
+        f"({head['pages_tail']} left for the synchronous tail).  Tokens are "
+        "identical in both arms: migration changes placement and timing, "
+        "never results."
+    )
+    return result

@@ -24,6 +24,8 @@ def make_pie_setup(
     chunked_prefill: Optional[bool] = None,
     prefill_chunk_tokens: Optional[int] = None,
     max_batch_tokens: Optional[int] = None,
+    disaggregation: Optional[bool] = None,
+    prefill_shards: Optional[int] = None,
 ) -> Tuple[Simulator, PieServer]:
     """Create a simulator + Pie server + standard tool environment.
 
@@ -35,6 +37,9 @@ def make_pie_setup(
     multi-tenant QoS service (:mod:`repro.core.qos`).  ``chunked_prefill``
     / ``prefill_chunk_tokens`` / ``max_batch_tokens`` configure stall-free
     token-budget batching (:mod:`repro.core.batching`).
+    ``disaggregation`` / ``prefill_shards`` split the cluster into prefill
+    and decode shard roles with overlapped KV-page streaming between them
+    (:mod:`repro.core.transfer`).
     """
     sim = Simulator(seed=seed)
     server = PieServer(
@@ -50,6 +55,8 @@ def make_pie_setup(
         chunked_prefill=chunked_prefill,
         prefill_chunk_tokens=prefill_chunk_tokens,
         max_batch_tokens=max_batch_tokens,
+        disaggregation=disaggregation,
+        prefill_shards=prefill_shards,
     )
     if with_tools:
         ToolEnvironment(sim, server.external)

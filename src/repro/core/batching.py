@@ -52,6 +52,26 @@ class CandidateBatch:
         """Input tokens carried by the batch (decode rows count one each)."""
         return sum(max(1, command.input_tokens) for command in self.commands)
 
+    @property
+    def decode_rows(self) -> int:
+        """Forward commands advancing a single token (decode steps).
+
+        A chunked prefill's pieces stay prefill work even when only one
+        token wide: a head slice carries ``parent``, and the final
+        residual — the original command, worn down to its last tokens —
+        carries ``chunks_taken``."""
+        if self.kind != "forward":
+            return 0
+        return sum(1 for command in self.commands if _is_decode(command))
+
+    @property
+    def prefill_rows(self) -> int:
+        """Forward commands (whole, head slices or residuals) carrying
+        prompt tokens."""
+        if self.kind != "forward":
+            return 0
+        return sum(1 for command in self.commands if not _is_decode(command))
+
     def __len__(self) -> int:
         return len(self.commands)
 
@@ -101,6 +121,15 @@ def form_candidate_batches(
         if merged:
             candidates[kind] = CandidateBatch(kind=kind, commands=merged)
     return candidates
+
+
+def _is_decode(command: Command) -> bool:
+    """A single-token forward that is not a piece of a chunked prefill."""
+    return (
+        command.input_tokens <= 1
+        and command.parent is None
+        and command.chunks_taken == 0
+    )
 
 
 def _chunkable(command: Command) -> bool:

@@ -11,7 +11,7 @@ from repro.gpu.config import GpuConfig
 
 #: Valid cluster placement policies (see :mod:`repro.core.router`, which
 #: re-exports this as its single source of truth).
-PLACEMENT_POLICIES = ("round_robin", "least_loaded", "cache_affinity")
+PLACEMENT_POLICIES = ("round_robin", "least_loaded", "cache_affinity", "disaggregated")
 
 #: Valid tiered-KV swap policies (see :mod:`repro.core.swap`): "proactive"
 #: stages the KV of inferlets blocked on external calls eagerly; "on_demand"
@@ -107,6 +107,31 @@ class ControlLayerConfig:
     # rows their input tokens).  0 falls back to GpuConfig.max_batch_tokens.
     # Only enforced while chunked_prefill is True.
     max_batch_tokens: int = 0
+    # Prefill/decode disaggregation (repro.core.transfer): when True, the
+    # cluster's first ``prefill_shards`` devices serve only prompt work
+    # (placement_policy must be "disaggregated") and the rest run
+    # pure-decode batches.  Committed KV pages stream to the chosen decode
+    # shard over the device-to-device link while the tail of the prefill is
+    # still running; once the first sampled token retires, the inferlet —
+    # queue state, swap registration, QoS accounting — migrates in one
+    # step.  Off by default: the serving path is then bit-identical to the
+    # pre-disaggregation system (no transfer scheduler is built, no hooks
+    # installed).
+    disaggregation: bool = False
+    # Devices dedicated to prefill when disaggregation is on (the remaining
+    # num_devices - prefill_shards devices decode).  Needs at least one
+    # device in each role.
+    prefill_shards: int = 1
+    # Minimum number of newly committed (provably full) pages before a
+    # streaming event fires during prefill; larger values trade overlap for
+    # fewer, bigger link transfers.
+    disagg_stream_min_pages: int = 1
+    # Modeled device-to-device interconnect for KV streaming: one-way
+    # latency plus a bandwidth term (bytes/s).  The defaults approximate a
+    # PCIe-class link; the per-page landing cost on the destination device
+    # comes from KernelCostModel.kv_transfer_cost.
+    disagg_link_latency_ms: float = 0.05
+    disagg_link_gbytes_per_s: float = 16.0
     # Multi-tenant QoS (repro.core.qos): when True, launches pass tenant
     # admission control (token-bucket rate + concurrency caps), candidate
     # batches are scored by class-weighted slack-to-deadline instead of
@@ -169,6 +194,32 @@ class PieConfig:
             raise ReproError("prefill_chunk_tokens must be at least 1")
         if self.control.max_batch_tokens < 0:
             raise ReproError("max_batch_tokens must be non-negative (0 = gpu default)")
+        if self.control.prefill_shards < 1:
+            raise ReproError("prefill_shards must be at least 1")
+        if self.control.disagg_stream_min_pages < 1:
+            raise ReproError("disagg_stream_min_pages must be at least 1")
+        if self.control.disagg_link_latency_ms < 0:
+            raise ReproError("disagg_link_latency_ms must be non-negative")
+        if self.control.disagg_link_gbytes_per_s <= 0:
+            raise ReproError("disagg_link_gbytes_per_s must be positive")
+        if self.control.disaggregation:
+            if self.control.placement_policy != "disaggregated":
+                raise ReproError(
+                    "disaggregation=True requires placement_policy='disaggregated'"
+                )
+            if self.gpu.num_devices < 2:
+                raise ReproError(
+                    "disaggregation needs at least 2 devices (one per role)"
+                )
+            if self.control.prefill_shards >= self.gpu.num_devices:
+                raise ReproError(
+                    f"prefill_shards ({self.control.prefill_shards}) must leave at "
+                    f"least one decode shard (num_devices={self.gpu.num_devices})"
+                )
+        elif self.control.placement_policy == "disaggregated":
+            raise ReproError(
+                "placement_policy='disaggregated' requires disaggregation=True"
+            )
         if self.control.qos_default_class not in QOS_CLASSES:
             raise ReproError(
                 f"unknown qos_default_class {self.control.qos_default_class!r}; "

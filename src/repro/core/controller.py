@@ -32,6 +32,7 @@ from repro.core.resources import ResourceManager
 from repro.core.router import ClusterSchedulerStats, DeviceShard, Router
 from repro.core.scheduler import BatchScheduler
 from repro.core.swap import SwapManager
+from repro.core.transfer import KvTransferScheduler
 from repro.gpu.host_pool import HostMemoryPool
 from repro.gpu.kernels import KernelCostModel
 from repro.gpu.pool import DevicePool
@@ -66,6 +67,7 @@ class ModelService:
         router: Router,
         host_pool: HostMemoryPool,
         swap: SwapManager,
+        transfer: Optional[KvTransferScheduler] = None,
     ) -> None:
         self.entry = entry
         self.cost_model = cost_model
@@ -74,6 +76,10 @@ class ModelService:
         self.router = router
         self.host_pool = host_pool
         self.swap = swap
+        # Prefill/decode disaggregation's KV transfer scheduler
+        # (repro.core.transfer); None whenever the knob is off, and every
+        # hook that would reach it is then skipped entirely.
+        self.transfer = transfer
 
     # -- shard-0 compatibility accessors ---------------------------------------
 
@@ -218,12 +224,38 @@ class Controller:
                 )
                 resources.set_kv_free_listener(shard.prefix_cache.on_physical_freed)
             shards.append(shard)
+        control = self.config.control
+        if control.disaggregation:
+            # Role split: the first prefill_shards shards admit and prefill,
+            # the rest only ever receive inferlets through the handoff.
+            for shard in shards:
+                shard.role = (
+                    "prefill" if shard.index < control.prefill_shards else "decode"
+                )
         router = Router(
             shards,
-            policy=self.config.control.placement_policy,
+            policy=control.placement_policy,
             is_swapped=swap.is_swapped if swap.enabled else None,
             placement_weight=self.qos.placement_weight if self.qos is not None else None,
+            prefill_shards=control.prefill_shards if control.disaggregation else 0,
         )
+        transfer: Optional[KvTransferScheduler] = None
+        if control.disaggregation:
+            transfer = KvTransferScheduler(
+                self.sim,
+                shards,
+                router,
+                cost_model,
+                control,
+                self.metrics,
+                swap,
+                qos=self.qos,
+            )
+            for shard in shards:
+                if shard.role == "prefill":
+                    # Stream each head slice's committed pages while the
+                    # residual prefill is still queued.
+                    shard.scheduler.set_chunk_listener(transfer.on_chunk_complete)
         service = ModelService(
             entry=entry,
             cost_model=cost_model,
@@ -232,7 +264,16 @@ class Controller:
             router=router,
             host_pool=host_pool,
             swap=swap,
+            transfer=transfer,
         )
+        if transfer is not None:
+            # The handoff tail allocates on the decode shard through the
+            # same swap-first / terminate-last reclamation ladder.
+            transfer.bind_capacity_hook(
+                lambda shard, instance, kv_pages, embeds: self._ensure_capacity(
+                    service, shard, instance, kv_pages=kv_pages, embeds=embeds
+                )
+            )
         # Swap-in may itself need reclamation; route it through the same
         # swap-first / terminate-last capacity path allocations use.
         swap.bind_capacity_hook(
@@ -270,9 +311,12 @@ class Controller:
         for service in self._services.values():
             prefix_hint = instance.program.prefix_hint
             prefix_tokens = None
-            # Only cache_affinity placement reads the hint; skip the
-            # tokenizer work under the other policies.
-            if prefix_hint is not None and service.router.policy == "cache_affinity":
+            # Only cache_affinity and disaggregated placement read the
+            # hint; skip the tokenizer work under the other policies.
+            if prefix_hint is not None and service.router.policy in (
+                "cache_affinity",
+                "disaggregated",
+            ):
                 prefix_tokens = (
                     service.entry.tokenizer.encode(prefix_hint)
                     if isinstance(prefix_hint, str)
@@ -298,6 +342,10 @@ class Controller:
                 # Also discards any host-tier slots the space still holds.
                 shard.resources.destroy_space(instance.instance_id)
             service.swap.forget(instance.instance_id)
+            if service.transfer is not None:
+                # Abort any half-streamed KV: staged destination pages are
+                # only pinned by the transfer, so this frees them all.
+                service.transfer.forget(instance.instance_id)
             service.router.release(instance.instance_id)
 
     def set_terminate_hook(self, hook: Callable[[InferletInstance, str], None]) -> None:
@@ -637,7 +685,8 @@ class Controller:
         inferlet's shard after the inference-layer call overhead has
         elapsed."""
         instance.check_alive()
-        shard = self.service(handle.model).shard_for(instance.instance_id)
+        service = self.service(handle.model)
+        shard = service.shard_for(instance.instance_id)
         future = self.sim.create_future(name=f"{kind}:{instance.instance_id}")
         command = Command(
             kind=kind,
@@ -670,6 +719,16 @@ class Controller:
                 future.add_done_callback(
                     lambda _f, c=cache, p=kv_pids: c.release_busy(p)
                 )
+        if service.transfer is not None and service.router.on_prefill_shard(
+            instance.instance_id
+        ):
+            # Disaggregation: dirty-track writes against staged pages, track
+            # prefill commit progress, and arm the handoff on the sample's
+            # completion.  Registered *after* the cache hooks and *before*
+            # the caller can await the future, so under FIFO call_soon the
+            # handoff runs with busy pins released and the program still
+            # suspended.
+            service.transfer.on_command_submitted(instance, command)
         overhead = self.inference_call_overhead()
         queue_key = (handle.owner, handle.qid)
         instance.in_air_commands += 1

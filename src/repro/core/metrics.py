@@ -118,6 +118,8 @@ class TenantMetrics:
     terminated: int = 0
     preempted_swaps: int = 0
     preempted_terminations: int = 0
+    # Prefill->decode disaggregation handoffs of this tenant's inferlets.
+    handoffs: int = 0
     dispatched_commands: int = 0
     virtual_tokens: float = 0.0
     output_tokens: int = 0
@@ -189,6 +191,18 @@ class SystemMetrics:
     qos_rejected: int = 0
     qos_preemption_swaps: int = 0
     qos_preemption_terminations: int = 0
+    # Prefill/decode disaggregation (repro.core.transfer): completed
+    # prefill->decode handoffs, handoffs that could not run (no decode
+    # capacity / non-quiescent owner), KV pages streamed ahead of the
+    # handoff vs copied in the synchronous tail, bytes put on the
+    # inter-shard link, and the modeled stall decode start paid waiting
+    # for the link to drain.  All zero with ``disaggregation`` off.
+    disagg_handoffs: int = 0
+    disagg_handoff_failures: int = 0
+    disagg_pages_streamed: int = 0
+    disagg_pages_tail: int = 0
+    disagg_bytes_streamed: int = 0
+    disagg_handoff_stall_seconds: float = 0.0
     # Per-tenant admission/SLO accounting, keyed by tenant name (populated
     # only when the QoS service is enabled).
     tenants: Dict[str, TenantMetrics] = field(default_factory=dict)

@@ -168,6 +168,13 @@ class PrefixCacheService:
         for pid in pids:
             self._busy_pids[pid] = self._busy_pids.get(pid, 0) + 1
 
+    def busy_pins(self, pids: Sequence[int]) -> int:
+        """Total busy pins currently held against the given physical pages
+        (observability for tests and debugging; busy pins from *other*
+        owners' cache-shared reads are deliberately not a handoff blocker —
+        migration copies pages without mutating them)."""
+        return sum(self._busy_pids.get(pid, 0) for pid in pids)
+
     def release_busy(self, pids: Sequence[int]) -> None:
         for pid in pids:
             count = self._busy_pids.get(pid, 0) - 1

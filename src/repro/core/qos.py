@@ -512,6 +512,17 @@ class QosService:
             instance.instance_id,
         )
 
+    def note_handoff(self, instance: "InferletInstance") -> None:
+        """Attribute one prefill->decode disaggregation handoff.
+
+        QoS accounting follows the inferlet across the migration: the
+        tenant's fair-share state and SLO samples are keyed by instance id,
+        not device, so only this counter needs to move.
+        """
+        state = self._state_of(instance.instance_id)
+        if state is not None:
+            state.metrics.handoffs += 1
+
     def note_preempted_swap(self, instance: "InferletInstance") -> None:
         state = self._state_of(instance.instance_id)
         self.metrics.qos_preemption_swaps += 1

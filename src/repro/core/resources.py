@@ -10,7 +10,6 @@ application-controlled prefix caching) and survive the exporter's exit.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -66,8 +65,21 @@ class _Space:
     kv_map: Dict[int, int] = field(default_factory=dict)
     emb_map: Dict[int, int] = field(default_factory=dict)
     swapped_kv: Dict[int, int] = field(default_factory=dict)
-    next_kv_vid: "itertools.count" = field(default_factory=lambda: itertools.count(1))
-    next_emb_vid: "itertools.count" = field(default_factory=lambda: itertools.count(1))
+    # Plain ints (not itertools.count) so a space can be detached on one
+    # device and re-created on another without restarting vid numbering —
+    # live handles keep resolving after a disaggregation handoff.
+    next_kv_vid: int = 1
+    next_emb_vid: int = 1
+
+    def take_kv_vid(self) -> int:
+        vid = self.next_kv_vid
+        self.next_kv_vid += 1
+        return vid
+
+    def take_emb_vid(self) -> int:
+        vid = self.next_emb_vid
+        self.next_emb_vid += 1
+        return vid
 
 
 class ResourceManager:
@@ -145,7 +157,7 @@ class ResourceManager:
         physical_ids = self.memory.kv_pages.allocate(count)
         handles = []
         for physical_id in physical_ids:
-            vid = next(space.next_kv_vid)
+            vid = space.take_kv_vid()
             space.kv_map[vid] = physical_id
             self._kv_refs.incref(physical_id)
             handles.append(
@@ -254,7 +266,7 @@ class ResourceManager:
         physical_ids = self.memory.embeds.allocate(count)
         handles = []
         for physical_id in physical_ids:
-            vid = next(space.next_emb_vid)
+            vid = space.take_emb_vid()
             space.emb_map[vid] = physical_id
             self._emb_refs.incref(physical_id)
             handles.append(Embed(vid=vid, owner=owner, model=self.model_name))
@@ -345,6 +357,74 @@ class ResourceManager:
             self._kv_refs.incref(physical_id)
         return len(vids)
 
+    # -- migration (disaggregation handoff, see repro.core.transfer) ---------------
+
+    def kv_mapping(self, owner: str) -> Dict[int, int]:
+        """Snapshot of ``owner``'s device-resident vid -> physical id map."""
+        return dict(self._space(owner).kv_map)
+
+    def emb_mapping(self, owner: str) -> Dict[int, int]:
+        """Snapshot of ``owner``'s embed vid -> physical slot map."""
+        return dict(self._space(owner).emb_map)
+
+    def detach_space_for_migration(self, owner: str):
+        """Remove ``owner``'s space from this device, releasing device refs.
+
+        Returns ``(kv_map, emb_map, swapped_kv, next_kv_vid, next_emb_vid)``
+        — the vid -> *source* physical id maps as they stood at detach time
+        plus the vid counters, so the destination can re-create the space
+        with identical virtual ids (live :class:`KvPage` / :class:`Embed`
+        handles keep resolving).  Device pages and embed slots lose this
+        owner's reference (shared pages survive through their other
+        holders); host-tier slots in ``swapped_kv`` are *not* discarded —
+        the host pool is per-node, so they move with the inferlet.  The
+        caller must have copied page/slot contents to the destination
+        first.
+        """
+        space = self._space(owner)
+        kv_map = dict(space.kv_map)
+        emb_map = dict(space.emb_map)
+        swapped_kv = dict(space.swapped_kv)
+        for physical_id in kv_map.values():
+            self._release_kv(physical_id)
+        for physical_id in emb_map.values():
+            self._release_emb(physical_id)
+        del self._spaces[owner]
+        return kv_map, emb_map, swapped_kv, space.next_kv_vid, space.next_emb_vid
+
+    def adopt_migrated_space(
+        self,
+        owner: str,
+        kv_map: Dict[int, int],
+        emb_map: Dict[int, int],
+        swapped_kv: Dict[int, int],
+        next_kv_vid: int,
+        next_emb_vid: int,
+    ) -> None:
+        """Re-create a detached space on this device.
+
+        ``kv_map`` / ``emb_map`` must already point at *this* device's
+        physical ids (the transfer scheduler remaps them via its staged
+        copies); every physical id gains one reference here.  Pages the
+        caller pre-pinned during staging should be unpinned afterwards so
+        the space holds exactly one reference per mapping.
+        """
+        if owner in self._spaces:
+            raise ResourceError(f"address space for {owner!r} already exists")
+        space = _Space(
+            owner=owner,
+            kv_map=dict(kv_map),
+            emb_map=dict(emb_map),
+            swapped_kv=dict(swapped_kv),
+            next_kv_vid=next_kv_vid,
+            next_emb_vid=next_emb_vid,
+        )
+        for physical_id in space.kv_map.values():
+            self._kv_refs.incref(physical_id)
+        for physical_id in space.emb_map.values():
+            self._emb_refs.incref(physical_id)
+        self._spaces[owner] = space
+
     # -- export / import ----------------------------------------------------------
 
     def export_kv_pages(self, owner: str, handles: Sequence[KvPage], name: str) -> None:
@@ -363,7 +443,7 @@ class ResourceManager:
         handles = []
         entry.imports += 1
         for physical_id in entry.physical_ids:
-            vid = next(space.next_kv_vid)
+            vid = space.take_kv_vid()
             space.kv_map[vid] = physical_id
             self._kv_refs.incref(physical_id)
             handles.append(

@@ -19,6 +19,16 @@ Placement is a pluggable policy (:data:`PLACEMENT_POLICIES`):
   ``InferletProgram.placement_hint``) and a shard holds an export of
   exactly that name, place it there so the import is a local remap instead
   of a device-to-device copy; otherwise fall back to ``least_loaded``.
+* ``disaggregated`` — prefill/decode disaggregation
+  (``ControlLayerConfig.disaggregation``): the first ``prefill_shards``
+  shards take every new inferlet (prompts are chewed there, optionally via
+  chunked prefill), and once the first sampled token retires the KV
+  transfer scheduler (:mod:`repro.core.transfer`) migrates the inferlet to
+  a decode shard chosen ``least_loaded`` among the rest.  Placement among
+  prefill shards scores export hints and prefix-cache affinity exactly
+  like ``cache_affinity`` but restricted to the prefill role; repeated
+  ``prefix_hint`` prompts remember their shard so their cached prefixes
+  stay hot.
 
 :class:`ClusterSchedulerStats` merges the per-shard
 :class:`~repro.core.scheduler.SchedulerStats` so experiments read one
@@ -63,6 +73,10 @@ class DeviceShard:
     # The shard's automatic prefix cache; None unless
     # ControlLayerConfig.prefix_cache is enabled.
     prefix_cache: Optional["PrefixCacheService"] = None
+    # Disaggregation role: "mixed" (default), "prefill" or "decode".  Set
+    # by the controller when ControlLayerConfig.disaggregation is on;
+    # purely observational outside the disaggregated placement policy.
+    role: str = "mixed"
 
     @property
     def name(self) -> str:
@@ -91,6 +105,7 @@ class Router:
         policy: str = "round_robin",
         is_swapped: Optional[Callable[[str], bool]] = None,
         placement_weight: Optional[Callable[[str], float]] = None,
+        prefill_shards: int = 0,
     ) -> None:
         if not shards:
             raise ReproError("router needs at least one shard")
@@ -106,8 +121,25 @@ class Router:
         # interactive tenants spread across shards instead of queueing
         # behind one shard's batch backlog.  None = every instance counts 1.
         self.placement_weight = placement_weight
+        # Disaggregation: shards [0, prefill_shards) take new inferlets
+        # (prefill role), the rest receive them via migrate().  0 = no
+        # role split (every policy but "disaggregated").
+        if policy == "disaggregated":
+            if prefill_shards < 1 or prefill_shards >= len(shards):
+                raise ReproError(
+                    "disaggregated placement needs 1 <= prefill_shards < num shards"
+                )
+        self.prefill_shards = prefill_shards if policy == "disaggregated" else 0
         self._placements: Dict[str, int] = {}
         self._rr_next = 0
+        # Prompt-affinity memory for the disaggregated policy: repeated
+        # prefix_hint prompts return to the prefill shard that already holds
+        # their cached prefix.  Instance-keyed so release() can retire a
+        # hint when its last holder exits (stale entries would keep scoring
+        # re-launches against a shard whose cache may long have evicted the
+        # prefix).
+        self._hint_shard: Dict[tuple, int] = {}
+        self._instance_hints: Dict[str, tuple] = {}
 
     # -- placement -------------------------------------------------------------
 
@@ -124,6 +156,8 @@ class Router:
             index = self._place_round_robin()
         elif self.policy == "least_loaded":
             index = self._place_least_loaded()
+        elif self.policy == "disaggregated":
+            index = self._place_disaggregated(instance_id, hint, prefix_tokens)
         else:
             index = self._place_cache_affinity(hint, prefix_tokens)
         self._placements[instance_id] = index
@@ -131,6 +165,14 @@ class Router:
 
     def release(self, instance_id: str) -> None:
         self._placements.pop(instance_id, None)
+        # Retire the prompt-affinity memory with its last holder.  An
+        # instance that migrated to a decode shard still retires the *hint*
+        # entry (which points at its original prefill shard): without this,
+        # a re-launch with the same prefix_hint keeps scoring against a
+        # shard chosen in a long-gone load situation.
+        hint_key = self._instance_hints.pop(instance_id, None)
+        if hint_key is not None and hint_key not in set(self._instance_hints.values()):
+            self._hint_shard.pop(hint_key, None)
 
     def shard_for(self, instance_id: str) -> DeviceShard:
         try:
@@ -146,6 +188,53 @@ class Router:
     def instances_on(self, shard: DeviceShard) -> List[str]:
         return [iid for iid, index in self._placements.items() if index == shard.index]
 
+    # -- disaggregation roles ----------------------------------------------------
+
+    def is_prefill_index(self, index: int) -> bool:
+        return 0 < self.prefill_shards and index < self.prefill_shards
+
+    def decode_indices(self) -> List[int]:
+        return [s.index for s in self.shards if s.index >= self.prefill_shards]
+
+    def on_prefill_shard(self, instance_id: str) -> bool:
+        index = self._placements.get(instance_id)
+        return index is not None and self.is_prefill_index(index)
+
+    def choose_decode_shard(
+        self, extra_occupancy: Optional[Dict[int, float]] = None
+    ) -> DeviceShard:
+        """The least-loaded decode-role shard (handoff destination).
+
+        ``extra_occupancy`` adds per-index load the placement map cannot
+        see yet — the transfer scheduler passes its in-flight streams, so
+        several prefills streaming concurrently spread across the decode
+        role instead of all resolving the same idle-cluster tie.
+        """
+        if self.prefill_shards < 1:
+            raise SchedulingError("cluster has no decode-role shards")
+        return self.shards[
+            self._place_least_loaded(
+                restrict=self.decode_indices(), extra_occupancy=extra_occupancy
+            )
+        ]
+
+    def migrate(self, instance_id: str, dst_index: int) -> None:
+        """Re-point an already placed inferlet at another shard.
+
+        State migration (pages, queues, swap registration) is the KV
+        transfer scheduler's job (:mod:`repro.core.transfer`); the router
+        only records the new home so every later ``shard_for`` lookup —
+        command submission, capacity reclamation, swap fault-in — resolves
+        against the destination.
+        """
+        if instance_id not in self._placements:
+            raise SchedulingError(
+                f"cannot migrate {instance_id!r}: it was never placed"
+            )
+        if not 0 <= dst_index < len(self.shards):
+            raise SchedulingError(f"no shard with index {dst_index}")
+        self._placements[instance_id] = dst_index
+
     # -- policy implementations -------------------------------------------------
 
     def _place_round_robin(self) -> int:
@@ -153,7 +242,11 @@ class Router:
         self._rr_next += 1
         return index
 
-    def _place_least_loaded(self, restrict: Optional[Sequence[int]] = None) -> int:
+    def _place_least_loaded(
+        self,
+        restrict: Optional[Sequence[int]] = None,
+        extra_occupancy: Optional[Dict[int, float]] = None,
+    ) -> int:
         occupancy = {shard.index: 0.0 for shard in self.shards}
         for instance_id, placed_index in self._placements.items():
             if self.is_swapped is not None and self.is_swapped(instance_id):
@@ -163,6 +256,9 @@ class Router:
                 if self.placement_weight is not None
                 else 1
             )
+        if extra_occupancy:
+            for index, load in extra_occupancy.items():
+                occupancy[index] = occupancy.get(index, 0.0) + load
         eligible = self.shards
         if restrict is not None:
             allowed = set(restrict)
@@ -206,6 +302,48 @@ class Router:
                 return self._place_least_loaded(restrict=tied)
         return self._place_least_loaded()
 
+    def _place_disaggregated(
+        self,
+        instance_id: str,
+        hint: Optional[str],
+        prefix_tokens: Optional[Sequence[int]],
+    ) -> int:
+        """Admission under prefill/decode disaggregation.
+
+        Every new inferlet starts on a prefill-role shard; the choice within
+        that role mirrors ``cache_affinity`` (export hints, then prefix-cache
+        match scoring, then least_loaded) plus a prompt-affinity memory so
+        repeated prompts keep hitting the shard that warmed up first.
+        """
+        prefill = list(range(self.prefill_shards))
+        if hint:
+            for index in prefill:
+                if self.shards[index].resources.has_export(hint):
+                    return index
+        if prefix_tokens:
+            hint_key = tuple(prefix_tokens)
+            self._instance_hints[instance_id] = hint_key
+            remembered = self._hint_shard.get(hint_key)
+            if remembered is not None:
+                return remembered
+            scores = {}
+            for index in prefill:
+                cache = self.shards[index].prefix_cache
+                if cache is None or not cache.enabled:
+                    continue
+                matched = cache.match_len(prefix_tokens)
+                if matched > 0:
+                    scores[index] = matched
+            if scores:
+                best = max(scores.values())
+                tied = [index for index, score in scores.items() if score == best]
+                index = tied[0] if len(tied) == 1 else self._place_least_loaded(restrict=tied)
+            else:
+                index = self._place_least_loaded(restrict=prefill)
+            self._hint_shard[hint_key] = index
+            return index
+        return self._place_least_loaded(restrict=prefill)
+
 
 def aggregate_scheduler_stats(stats: Sequence[SchedulerStats]) -> SchedulerStats:
     """Merge per-shard dispatch statistics into one cluster-level record."""
@@ -217,6 +355,8 @@ def aggregate_scheduler_stats(stats: Sequence[SchedulerStats]) -> SchedulerStats
         total.prefill_chunks_dispatched += record.prefill_chunks_dispatched
         total.decode_rows_co_batched += record.decode_rows_co_batched
         total.chunk_stall_saved_seconds += record.chunk_stall_saved_seconds
+        total.decode_rows_dispatched += record.decode_rows_dispatched
+        total.prefill_rows_dispatched += record.prefill_rows_dispatched
         for kind, count in record.batches_by_kind.items():
             total.batches_by_kind[kind] = total.batches_by_kind.get(kind, 0) + count
         total.batch_sizes.extend(record.batch_sizes)

@@ -48,12 +48,20 @@ class SchedulerStats:
     prefill_chunks_dispatched: int = 0
     decode_rows_co_batched: int = 0
     chunk_stall_saved_seconds: float = 0.0
+    # Forward-batch role composition: decode rows (single-token steps) and
+    # prefill rows (multi-token prompts / head slices) dispatched on this
+    # shard.  The disaggregation invariant suite reads these to prove
+    # prefill-role shards never run a decode row.
+    decode_rows_dispatched: int = 0
+    prefill_rows_dispatched: int = 0
 
     def record(self, batch: CandidateBatch) -> None:
         self.batches_dispatched += 1
         self.commands_dispatched += len(batch.commands)
         self.batches_by_kind[batch.kind] = self.batches_by_kind.get(batch.kind, 0) + 1
         self.batch_sizes.append(len(batch.commands))
+        self.decode_rows_dispatched += batch.decode_rows
+        self.prefill_rows_dispatched += batch.prefill_rows
 
     @property
     def mean_batch_size(self) -> float:
@@ -102,6 +110,10 @@ class BatchScheduler:
         # priority gains a per-class stride, and dispatched work feeds the
         # tenant fair-share counters.  None = stock longest-waiting policy.
         self._qos = None
+        # Called with each successfully completed prefill head slice
+        # (disaggregation streams the slice's committed KV pages while the
+        # residual is still queued).  None = no observer, zero overhead.
+        self._chunk_listener: Optional[Callable[[Command], None]] = None
         self.device.on_idle(self._on_device_idle)
 
     def set_dispatch_guard(self, is_suspended: Optional[Callable[[str], bool]]) -> None:
@@ -111,6 +123,10 @@ class BatchScheduler:
     def set_qos(self, qos) -> None:
         """Install the QoS service's dispatch hooks (SLO-aware selection)."""
         self._qos = qos
+
+    def set_chunk_listener(self, listener: Optional[Callable[[Command], None]]) -> None:
+        """Observe completed prefill head slices (KV streaming hook)."""
+        self._chunk_listener = listener
 
     def notify_resumed(self) -> None:
         """Re-run the dispatch trigger after a suspended owner returns.
@@ -159,6 +175,24 @@ class BatchScheduler:
         for barrier in queue.drain_barriers():
             if not barrier.done():
                 barrier.set_result(None)
+
+    def detach_queue(self, key: Any) -> CommandQueue:
+        """Remove a queue *without* dropping its state (handoff migration).
+
+        The disaggregation handoff only moves quiescent owners, so the
+        detached queue carries no pending commands, in-flight work or
+        barriers — but its issued/completed counters and priority must
+        survive the move, which is why this is not remove_queue."""
+        queue = self._queues.pop(key, None)
+        if queue is None:
+            raise SchedulingError(f"unknown command queue {key!r}")
+        return queue
+
+    def adopt_queue(self, queue: CommandQueue) -> None:
+        """Install a queue detached from another shard's scheduler."""
+        if queue.key in self._queues:
+            raise SchedulingError(f"command queue {queue.key!r} already exists")
+        self._queues[queue.key] = queue
 
     def set_priority(self, key: Any, priority: int) -> None:
         self.get_queue(key).priority = priority
@@ -450,6 +484,8 @@ class BatchScheduler:
                         command.future.set_exception(failure)
                     else:
                         command.future.set_result(results[index])
+                if failure is None and self._chunk_listener is not None:
+                    self._chunk_listener(command)
                 continue
             queue = self._queues.get(command.queue_key)
             if queue is not None:

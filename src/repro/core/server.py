@@ -57,6 +57,8 @@ class PieServer:
         chunked_prefill: Optional[bool] = None,
         prefill_chunk_tokens: Optional[int] = None,
         max_batch_tokens: Optional[int] = None,
+        disaggregation: Optional[bool] = None,
+        prefill_shards: Optional[int] = None,
     ) -> None:
         self.sim = sim
         config = config or PieConfig()
@@ -102,6 +104,18 @@ class PieServer:
             config = replace(
                 config, control=replace(config.control, max_batch_tokens=max_batch_tokens)
             )
+        if disaggregation is not None or prefill_shards is not None:
+            # One combined replace: PieConfig validates on construction, and
+            # disaggregation=True is only consistent together with its
+            # implied placement policy (and shard split).
+            overrides = {}
+            if disaggregation is not None:
+                overrides["disaggregation"] = disaggregation
+                if disaggregation and placement_policy is None:
+                    overrides["placement_policy"] = "disaggregated"
+            if prefill_shards is not None:
+                overrides["prefill_shards"] = prefill_shards
+            config = replace(config, control=replace(config.control, **overrides))
         self.config = config
         registry = ModelRegistry(models or ["llama-sim-1b"])
         self.registry = registry

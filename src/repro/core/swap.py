@@ -175,6 +175,23 @@ class SwapManager:
         self._blocked.pop(instance_id, None)
         self._swapped.pop(instance_id, None)
 
+    def note_migrated(self, instance_id: str, dst_shard: "DeviceShard") -> None:
+        """Re-point registries at the destination shard after a handoff.
+
+        A disaggregation handoff only migrates quiescent, device-resident
+        inferlets, so ``_swapped`` should never hold the owner — updated
+        defensively all the same.  A ``_blocked`` entry can legitimately
+        exist (the owner may be awaiting an external call); its shard
+        reference must follow the inferlet so a later wake-retry swaps
+        pages on the device that actually holds them.
+        """
+        entry = self._blocked.get(instance_id)
+        if entry is not None:
+            entry[1] = dst_shard
+        swapped = self._swapped.get(instance_id)
+        if swapped is not None:
+            self._swapped[instance_id] = (swapped[0], dst_shard)
+
     # -- swap-out ----------------------------------------------------------
 
     def _safe_to_swap(self, instance: "InferletInstance", shard: "DeviceShard") -> bool:

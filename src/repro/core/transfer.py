@@ -1,0 +1,466 @@
+"""Prefill/decode disaggregation: the KV transfer scheduler.
+
+With ``ControlLayerConfig.disaggregation`` on, the cluster's shards split
+into *prefill* and *decode* roles (``repro.core.router``): every new
+inferlet is admitted onto a prefill shard, chews its prompt there
+(optionally via chunked prefill), and migrates to a decode shard the
+moment its first sampled token retires.  This module owns everything
+between those two states:
+
+* **Overlapped streaming** — as prefill commits KV pages (each completed
+  head slice of a chunked prefill, or a whole forward), the provably-full
+  pages are copied to the chosen decode shard ahead of time over a modeled
+  device-to-device :class:`~repro.sim.network.NetworkLink`, so the
+  transfer overlaps the tail of the prefill instead of serialising behind
+  it.  A page is *provably full* after ``committed // page_size`` pages:
+  auto-offset commits tokens densely from the front, and pre-existing
+  fill only makes the prefix fuller.
+* **Dirty tracking** — any later command that writes a staged page (mask,
+  clear, copy, another forward) marks the staged copy dirty at submit
+  time; dirty pages are re-copied in the synchronous handoff tail, so the
+  migrated state is always content-exact.
+* **The handoff** — triggered by the completion of a ``sample`` command
+  while the owner still lives on a prefill shard.  The completion
+  callback is registered at submit time, so under the simulator's FIFO
+  ``call_soon`` it runs *before* the program's own continuation: the
+  owner is provably quiescent (no in-air commands, every queue empty) and
+  the whole migration — KV pages, embed slots, swapped host slots, queue
+  objects, router placement, swap/QoS registrations — happens
+  synchronously before the program can submit its first decode command.
+  The decode shard is charged a ``kv_handoff`` batch covering the link
+  stall (time left until the streamed pages have drained) plus the
+  landing cost of the tail pages.
+
+Failure safety: staged destination pages are held only by this
+scheduler's pin until the handoff adopts them, so an abort at any point
+(:meth:`KvTransferScheduler.forget`, called when the inferlet exits or is
+terminated) simply unpins them back to the free pool — nothing leaks, and
+the source state is never touched before the capacity check for the tail
+has succeeded.
+
+Everything here is event-count deterministic: link occupancy is plain
+arithmetic (:meth:`NetworkLink.reserve`), copies are content-exact, and
+token sampling uses the per-instance rng — so a run with disaggregation
+on produces bit-identical tokens to the same run with it off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.errors import OutOfResourcesError, SchedulingError
+from repro.core.command_queue import Command
+from repro.core.config import ControlLayerConfig
+from repro.core.metrics import SystemMetrics
+from repro.gpu.host_pool import kv_page_bytes
+from repro.sim.latency import ConstantLatency, milliseconds
+from repro.sim.network import NetworkLink
+from repro.sim.simulator import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guards
+    from repro.core.inferlet import InferletInstance
+    from repro.core.qos import QosService
+    from repro.core.router import DeviceShard, Router
+    from repro.core.swap import SwapManager
+    from repro.gpu.kernels import KernelCostModel
+
+
+@dataclass
+class _StagedPage:
+    """One KV page copied ahead of the handoff."""
+
+    dst_pid: int
+    clean: bool = True
+    consumed: bool = False
+
+
+@dataclass
+class _ForwardTrack:
+    """Commit progress of one in-flight prefill forward."""
+
+    owner: str
+    total_tokens: int
+    ikv: List[int]
+    okv: List[int]
+    committed: int = 0
+    ikv_staged: bool = False
+    okv_staged: int = 0  # pages of the okv prefix already queued
+
+
+@dataclass
+class _Stream:
+    """Per-owner staging state between first commit and handoff."""
+
+    src_index: int
+    dst_index: Optional[int] = None
+    staged: Dict[int, _StagedPage] = field(default_factory=dict)  # src_pid ->
+    queued: List[int] = field(default_factory=list)  # awaiting min-pages flush
+    link_ready: float = 0.0  # when every streamed page has landed
+
+
+class KvTransferScheduler:
+    """Streams committed KV to decode shards and runs the handoff."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        shards: List["DeviceShard"],
+        router: "Router",
+        cost_model: "KernelCostModel",
+        control_config: ControlLayerConfig,
+        metrics: SystemMetrics,
+        swap: "SwapManager",
+        qos: Optional["QosService"] = None,
+    ) -> None:
+        self.sim = sim
+        self.shards = shards
+        self.router = router
+        self.cost_model = cost_model
+        self.control = control_config
+        self.metrics = metrics
+        self.swap = swap
+        self.qos = qos
+        self.page_size = cost_model.config.kv_page_size
+        self.page_bytes = kv_page_bytes(cost_model.config)
+        self.min_stream_pages = max(1, control_config.disagg_stream_min_pages)
+        self._streams: Dict[str, _Stream] = {}
+        self._forwards: Dict[int, _ForwardTrack] = {}  # parent command_id ->
+        self._links: Dict[Tuple[int, int], NetworkLink] = {}
+        # Installed by the controller: its swap-first / terminate-last
+        # reclamation path, so the handoff tail competes for destination
+        # capacity under exactly the same policy as any allocation.
+        self._capacity_hook = None
+
+    def bind_capacity_hook(self, hook) -> None:
+        """``hook(dst_shard, instance, kv_pages, embeds)`` ensures room."""
+        self._capacity_hook = hook
+
+    # -- controller-facing hooks (submit path) -----------------------------
+
+    def on_command_submitted(self, instance: "InferletInstance", command: Command) -> None:
+        """Observe one command of a prefill-shard resident at submit time.
+
+        Three jobs: conservatively dirty any staged page the command may
+        write (the write is *issued* now even if it executes later);
+        track prefill forwards so their commit progress can be staged; and
+        arm the handoff on sample completion.
+        """
+        owner = instance.instance_id
+        stream = self._streams.get(owner)
+        if stream is not None and command.writes:
+            for tag, pid in command.writes:
+                if tag != "kv":
+                    continue
+                entry = stream.staged.get(pid)
+                if entry is not None:
+                    entry.clean = False
+                # A queued-but-unflushed page is simply no longer stageable.
+                if pid in stream.queued:
+                    stream.queued.remove(pid)
+        if command.kind == "forward" and command.input_tokens > 1:
+            okv = list(command.payload.get("okv", []))
+            self._forwards[command.command_id] = _ForwardTrack(
+                owner=owner,
+                total_tokens=command.input_tokens,
+                ikv=list(command.payload.get("ikv", [])),
+                okv=okv,
+            )
+            command.future.add_done_callback(
+                lambda fut, c=command: self._on_forward_done(c, fut)
+            )
+        elif command.kind == "sample":
+            command.future.add_done_callback(
+                lambda fut, inst=instance: self._on_sample_done(inst, fut)
+            )
+
+    def on_chunk_complete(self, chunk: Command) -> None:
+        """One head slice of a chunked prefill retired successfully."""
+        parent = chunk.parent
+        if parent is None:
+            return
+        track = self._forwards.get(parent.command_id)
+        if track is None:
+            return
+        track.committed += chunk.input_tokens
+        self._stage_from_track(track)
+
+    def _on_forward_done(self, command: Command, future) -> None:
+        track = self._forwards.pop(command.command_id, None)
+        if track is None:
+            return
+        if future.exception() is not None or future.result() is None:
+            return  # failed or dropped: nothing committed by this command
+        track.committed = track.total_tokens
+        self._stage_from_track(track)
+
+    # -- staging ------------------------------------------------------------
+
+    def _stream_for(self, owner: str) -> Optional[_Stream]:
+        if not self.router.on_prefill_shard(owner):
+            return None
+        stream = self._streams.get(owner)
+        if stream is None:
+            stream = _Stream(src_index=self.router.shard_for(owner).index)
+            self._streams[owner] = stream
+        return stream
+
+    def _stage_from_track(self, track: _ForwardTrack) -> None:
+        stream = self._stream_for(track.owner)
+        if stream is None:
+            return
+        want: List[int] = []
+        if not track.ikv_staged:
+            # Context pages the forward only reads are sealed already.
+            track.ikv_staged = True
+            okv_set = set(track.okv)
+            want.extend(pid for pid in track.ikv if pid not in okv_set)
+        full = min(len(track.okv), track.committed // self.page_size)
+        if full > track.okv_staged:
+            want.extend(track.okv[track.okv_staged : full])
+            track.okv_staged = full
+        for pid in want:
+            if pid not in stream.staged and pid not in stream.queued:
+                stream.queued.append(pid)
+        if len(stream.queued) >= self.min_stream_pages:
+            self._flush_queued(track.owner, stream)
+
+    def _flush_queued(self, owner: str, stream: _Stream) -> None:
+        if not stream.queued:
+            return
+        src = self.shards[stream.src_index]
+        dst = self._destination(stream)
+        pids = stream.queued
+        stream.queued = []
+        dst_pids = dst.memory.kv_pages.allocate(len(pids))
+        for src_pid, dst_pid in zip(pids, dst_pids):
+            # The transfer holds the only reference until the handoff
+            # adopts the page (or forget() aborts the stream).
+            dst.resources.pin_kv(dst_pid)
+            dst.memory.kv_pages.page(dst_pid).copy_page_from(
+                src.memory.kv_pages.page(src_pid)
+            )
+            stream.staged[src_pid] = _StagedPage(dst_pid=dst_pid)
+        arrival = self._link(stream.src_index, dst.index).reserve(
+            len(pids) * self.page_bytes, now=self.sim.now
+        )
+        stream.link_ready = max(stream.link_ready, arrival)
+        self.metrics.disagg_pages_streamed += len(pids)
+        self.metrics.disagg_bytes_streamed += len(pids) * self.page_bytes
+
+    def _destination(self, stream: _Stream) -> "DeviceShard":
+        """The decode shard this stream targets (chosen once, lazily).
+
+        Streams still in flight count toward their target's occupancy:
+        placement alone cannot see them (the owners are still placed on
+        prefill shards), and without the correction every stream started
+        on an idle cluster would resolve the least-loaded tie to the same
+        first decode shard.
+        """
+        if stream.dst_index is None:
+            inflight: Dict[int, float] = {}
+            for other in self._streams.values():
+                if other.dst_index is not None:
+                    inflight[other.dst_index] = inflight.get(other.dst_index, 0.0) + 1.0
+            stream.dst_index = self.router.choose_decode_shard(
+                extra_occupancy=inflight
+            ).index
+        return self.shards[stream.dst_index]
+
+    def _link(self, src_index: int, dst_index: int) -> NetworkLink:
+        key = (src_index, dst_index)
+        link = self._links.get(key)
+        if link is None:
+            link = NetworkLink(
+                self.sim,
+                latency=ConstantLatency(milliseconds(self.control.disagg_link_latency_ms)),
+                name=f"kvlink:{src_index}->{dst_index}",
+                bytes_per_second=self.control.disagg_link_gbytes_per_s * 1e9,
+            )
+            self._links[key] = link
+        return link
+
+    # -- handoff -------------------------------------------------------------
+
+    def _on_sample_done(self, instance: "InferletInstance", future) -> None:
+        if future.exception() is not None or future.result() is None:
+            return  # failed / dropped sample: the program never resumes normally
+        self.maybe_handoff(instance)
+
+    def maybe_handoff(self, instance: "InferletInstance") -> bool:
+        """Migrate ``instance`` to a decode shard if it is safe right now.
+
+        Returns True on a completed handoff.  A refusal (non-quiescent
+        owner, no destination capacity) is counted and retried at the next
+        sample completion; the source state is left fully intact.
+        """
+        owner = instance.instance_id
+        if not self.router.on_prefill_shard(owner):
+            return False
+        if instance.finished:
+            self.forget(owner)
+            return False
+        src = self.router.shard_for(owner)
+        if not self._quiescent(instance, src):
+            self.metrics.disagg_handoff_failures += 1
+            return False
+        stream = self._streams.get(owner)
+        staged = stream.staged if stream is not None else {}
+
+        kv_map = src.resources.kv_mapping(owner)
+        emb_map = src.resources.emb_mapping(owner)
+        new_kv: Dict[int, int] = {}
+        tail: List[Tuple[int, int]] = []  # (vid, src_pid) copied synchronously
+        for vid in sorted(kv_map):
+            src_pid = kv_map[vid]
+            entry = staged.get(src_pid)
+            if entry is not None and entry.clean and not entry.consumed:
+                entry.consumed = True
+                new_kv[vid] = entry.dst_pid
+            else:
+                # Never staged, staged-then-dirtied, rebound to a different
+                # physical page, or aliased by a vid served already: copy
+                # in the tail.
+                tail.append((vid, src_pid))
+
+        if stream is not None and stream.dst_index is not None:
+            dst = self.shards[stream.dst_index]
+        else:
+            # Nothing was ever streamed (short prompt below the page/chunk
+            # granularity): pick a destination now, still counting the
+            # streams other owners have in flight.
+            inflight: Dict[int, float] = {}
+            for other in self._streams.values():
+                if other.dst_index is not None:
+                    inflight[other.dst_index] = inflight.get(other.dst_index, 0.0) + 1.0
+            dst = self.router.choose_decode_shard(extra_occupancy=inflight)
+        try:
+            if self._capacity_hook is not None and (tail or emb_map):
+                self._capacity_hook(dst, instance, len(tail), len(emb_map))
+        except OutOfResourcesError:
+            for entry in staged.values():
+                entry.consumed = False
+            self.metrics.disagg_handoff_failures += 1
+            return False
+
+        # Tail KV pages: allocate, content-exact copy.  adopt_migrated_space
+        # takes the owning reference below.
+        tail_pids = dst.memory.kv_pages.allocate(len(tail))
+        for (vid, src_pid), dst_pid in zip(tail, tail_pids):
+            dst.memory.kv_pages.page(dst_pid).copy_page_from(
+                src.memory.kv_pages.page(src_pid)
+            )
+            new_kv[vid] = dst_pid
+        # Embed slots: full-state clones (vector, position, written flag) so
+        # downstream sampling is bit-identical; the destination cache must
+        # not inherit token identities it never recorded.
+        emb_items = sorted(emb_map.items())
+        dst_slots = dst.memory.embeds.allocate(len(emb_items))
+        new_emb: Dict[int, int] = {}
+        for (vid, src_slot), dst_slot in zip(emb_items, dst_slots):
+            dst.memory.embeds.clone_slot_from(dst_slot, src.memory.embeds, src_slot)
+            new_emb[vid] = dst_slot
+        if dst.prefix_cache is not None:
+            dst.prefix_cache.forget_embeds(dst_slots)
+
+        # The point of no return: detach from the source (host-tier slots
+        # ride along, the host pool is per-node), adopt on the destination,
+        # then drop the transfer's staging pins — consumed pages settle at
+        # one owning reference, stale ones free.
+        _, _, swapped_kv, next_kv_vid, next_emb_vid = (
+            src.resources.detach_space_for_migration(owner)
+        )
+        dst.resources.adopt_migrated_space(
+            owner, new_kv, new_emb, swapped_kv, next_kv_vid, next_emb_vid
+        )
+        for entry in staged.values():
+            dst.resources.unpin_kv(entry.dst_pid)
+
+        for queue in list(src.scheduler.queues_for_owner(owner)):
+            src.scheduler.detach_queue(queue.key)
+            dst.scheduler.adopt_queue(queue)
+        self.router.migrate(owner, dst.index)
+        self.swap.note_migrated(owner, dst)
+        if self.qos is not None:
+            self.qos.note_handoff(instance)
+
+        # Timing: the decode shard cannot touch the migrated KV before the
+        # link has drained (streamed pages still in flight) and the tail
+        # has both crossed the wire and landed in the paged cache.
+        now = self.sim.now
+        ready = stream.link_ready if stream is not None else 0.0
+        if tail:
+            ready = max(
+                ready,
+                self._link(src.index, dst.index).reserve(
+                    len(tail) * self.page_bytes, now=now
+                ),
+            )
+            self.metrics.disagg_bytes_streamed += len(tail) * self.page_bytes
+        stall = max(0.0, ready - now)
+        landing = self.cost_model.kv_transfer_cost(len(tail)) if tail else 0.0
+        if stall + landing > 0.0:
+            dst.device.submit(
+                kind="kv_handoff",
+                run=lambda: None,
+                cost_seconds=stall + landing,
+                size=len(tail),
+            )
+        self.metrics.disagg_handoffs += 1
+        self.metrics.disagg_pages_tail += len(tail)
+        self.metrics.disagg_handoff_stall_seconds += stall
+
+        self._streams.pop(owner, None)
+        self._drop_tracks(owner)
+        return True
+
+    def _quiescent(self, instance: "InferletInstance", src: "DeviceShard") -> bool:
+        """No command of the owner is anywhere between issue and retire."""
+        owner = instance.instance_id
+        if instance.in_air_commands > 0:
+            return False
+        for queue in src.scheduler.queues_for_owner(owner):
+            if queue.pending_count or queue.inflight_count:
+                return False
+        if self.swap.is_swapped(owner):
+            return False
+        if not src.resources.has_space(owner):
+            return False
+        # Busy pins held by *other* owners (cache-shared prefix reads in
+        # flight) do not block the handoff: migration copies the owner's
+        # pages without mutating them, and every page an in-flight command
+        # can observe is kept alive independently of the migrating owner —
+        # by the prefix cache's own pin or by the reader's space reference.
+        # The owner's own pins are excluded by the two checks above.
+        return True
+
+    # -- teardown -------------------------------------------------------------
+
+    def forget(self, owner: str) -> None:
+        """Abort any stream of ``owner``; staged destination pages free."""
+        stream = self._streams.pop(owner, None)
+        if stream is not None and stream.staged:
+            if stream.dst_index is None:  # pragma: no cover - staged implies dst
+                raise SchedulingError("staged pages without a destination shard")
+            dst = self.shards[stream.dst_index]
+            for entry in stream.staged.values():
+                dst.resources.unpin_kv(entry.dst_pid)
+        self._drop_tracks(owner)
+
+    def _drop_tracks(self, owner: str) -> None:
+        stale = [cid for cid, track in self._forwards.items() if track.owner == owner]
+        for cid in stale:
+            del self._forwards[cid]
+
+    # -- inspection (tests, experiments) --------------------------------------
+
+    @property
+    def active_streams(self) -> int:
+        return len(self._streams)
+
+    def staged_pages(self, owner: str) -> int:
+        stream = self._streams.get(owner)
+        return len(stream.staged) if stream is not None else 0
+
+    def links(self) -> List[NetworkLink]:
+        return [self._links[key] for key in sorted(self._links)]

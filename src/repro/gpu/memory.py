@@ -244,6 +244,17 @@ class EmbedStore:
         self._check(slot)
         return bool(self._written[slot])
 
+    def clone_slot_from(self, dst_slot: int, other: "EmbedStore", src_slot: int) -> None:
+        """Copy one slot's full state (vector, position, written flag) from
+        another store — the disaggregation handoff path migrating embeds
+        between devices.  Content-exact so sampled distributions are
+        bit-identical on the destination."""
+        self._check(dst_slot)
+        other._check(src_slot)
+        self._data[dst_slot] = other._data[src_slot]
+        self._positions[dst_slot] = other._positions[src_slot]
+        self._written[dst_slot] = other._written[src_slot]
+
     def _check(self, slot: int) -> None:
         if not self._pool.is_allocated(slot):
             raise ResourceError(f"embedding slot {slot} is not allocated")

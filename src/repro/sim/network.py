@@ -30,23 +30,56 @@ class NetworkLink:
         sim: Simulator,
         latency: Optional[LatencyModel] = None,
         name: str = "link",
+        bytes_per_second: Optional[float] = None,
     ) -> None:
         self.sim = sim
         self.latency = latency if latency is not None else ConstantLatency(0.0)
         self.name = name
+        # Optional bandwidth term: payloads additionally occupy the wire
+        # for size/bandwidth seconds.  None models a latency-only link
+        # (the pre-existing behaviour; message size then costs nothing).
+        self.bytes_per_second = bytes_per_second
         self.messages_sent = 0
         self.round_trips = 0
         self.bytes_sent = 0
+        # Serialized-channel clock for reserve(): the virtual time until
+        # which the wire is occupied by already reserved transfers.
+        self._busy_until = 0.0
 
     def one_way_delay(self) -> float:
         return self.latency.sample(self.sim.rng)
+
+    def transfer_seconds(self, size_bytes: int) -> float:
+        """Wire occupancy of one payload (bandwidth term only)."""
+        if self.bytes_per_second is None or size_bytes <= 0:
+            return 0.0
+        return size_bytes / self.bytes_per_second
 
     async def send(self, payload: Any = None, size_bytes: int = 0) -> Any:
         """Deliver a payload after one one-way delay; returns the payload."""
         self.messages_sent += 1
         self.bytes_sent += size_bytes
-        await self.sim.sleep(self.one_way_delay())
+        await self.sim.sleep(self.one_way_delay() + self.transfer_seconds(size_bytes))
         return payload
+
+    def reserve(self, size_bytes: int, now: Optional[float] = None) -> float:
+        """Reserve serialized wire time; returns the arrival timestamp.
+
+        Models a FIFO channel without spawning tasks: each reservation
+        starts when the previous one has drained (or now, if the wire is
+        idle) and occupies the wire for its bandwidth time; the payload
+        lands one propagation delay after its slot ends.  Deterministic
+        arithmetic — the KV-page streaming path of
+        :mod:`repro.core.transfer` uses it to overlap transfers with the
+        tail of a prefill while keeping run-to-run bit-identical timing.
+        """
+        if now is None:
+            now = self.sim.now
+        start = max(now, self._busy_until)
+        self._busy_until = start + self.transfer_seconds(size_bytes)
+        self.messages_sent += 1
+        self.bytes_sent += size_bytes
+        return self._busy_until + self.one_way_delay()
 
     async def request(
         self,

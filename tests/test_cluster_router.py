@@ -46,8 +46,18 @@ class TestConfig:
 
     def test_policy_sets_agree(self):
         # The literal set validated in config must match the router's.
+        # "disaggregated" is only valid alongside its knobs (it implies a
+        # role split, which needs the transfer scheduler and >= 2 devices).
         for policy in PLACEMENT_POLICIES:
-            PieConfig(control=ControlLayerConfig(placement_policy=policy))
+            if policy == "disaggregated":
+                PieConfig(
+                    control=ControlLayerConfig(
+                        placement_policy=policy, disaggregation=True
+                    ),
+                    gpu=GpuConfig(num_devices=2),
+                )
+            else:
+                PieConfig(control=ControlLayerConfig(placement_policy=policy))
 
     def test_server_shorthand_overrides(self):
         sim = Simulator(seed=0)
@@ -121,6 +131,80 @@ class TestPlacementPolicies:
         server = PieServer(sim, num_devices=2)
         with pytest.raises(ReproError):
             Router(server.service().shards, policy="hash")
+
+
+class TestDisaggregatedRouter:
+    """Router mechanics specific to the prefill/decode role split: role
+    predicates, migration, and the hint bookkeeping of instances that no
+    longer live on the shard their prompt-affinity hint points at."""
+
+    def _router(self, devices=3, prefill_shards=1):
+        sim = Simulator(seed=0)
+        server = PieServer(
+            sim, num_devices=devices, disaggregation=True, prefill_shards=prefill_shards
+        )
+        return Router(
+            server.service().shards,
+            policy="disaggregated",
+            prefill_shards=prefill_shards,
+        )
+
+    def test_roles_and_decode_destination(self):
+        router = self._router(devices=3, prefill_shards=1)
+        assert router.is_prefill_index(0)
+        assert not router.is_prefill_index(1)
+        assert router.decode_indices() == [1, 2]
+        assert router.place("a").index == 0  # new arrivals land on prefill
+        assert router.on_prefill_shard("a")
+        dst = router.choose_decode_shard()
+        assert dst.index in (1, 2)
+        # In-flight streams the placement map can't see shift the choice.
+        loaded = router.choose_decode_shard(extra_occupancy={dst.index: 5.0})
+        assert loaded.index != dst.index
+
+    def test_migrate_repoints_and_validates(self):
+        router = self._router()
+        router.place("a")
+        router.migrate("a", 2)
+        assert router.shard_for("a").index == 2
+        assert not router.on_prefill_shard("a")
+        with pytest.raises(ReproError):
+            router.migrate("ghost", 1)
+        with pytest.raises(ReproError):
+            router.migrate("a", 99)
+
+    def test_release_retires_hint_of_migrated_instance(self):
+        """Regression: the prompt-affinity hint is keyed by the instance
+        that created it.  An instance that *migrated* to a decode shard
+        still owns its hint entry, so releasing it after migration must
+        retire the hint — otherwise every re-launch with the same prompt
+        keeps scoring against a prefill shard chosen in a load situation
+        long gone."""
+        router = self._router(devices=4, prefill_shards=2)
+        tokens = (1, 2, 3, 4)
+        first = router.place("a", prefix_tokens=tokens).index
+        assert router.is_prefill_index(first)
+        assert router._hint_shard[tokens] == first
+        router.migrate("a", router.decode_indices()[0])
+        router.release("a")
+        assert "a" not in router._instance_hints
+        assert tokens not in router._hint_shard, "stale hint survived release"
+
+    def test_hint_survives_while_another_holder_lives(self):
+        router = self._router(devices=4, prefill_shards=2)
+        tokens = (9, 8, 7)
+        first = router.place("a", prefix_tokens=tokens).index
+        # The second holder follows the remembered hint shard.
+        assert router.place("b", prefix_tokens=tokens).index == first
+        router.migrate("a", router.decode_indices()[0])
+        router.release("a")
+        # "b" still holds the hint: it must survive "a"'s release ...
+        assert router._hint_shard[tokens] == first
+        assert router.place("c", prefix_tokens=tokens).index == first
+        router.release("b")
+        router.release("c")
+        # ... and retire with its last holder.
+        assert tokens not in router._hint_shard
 
 
 class TestCrossDeviceImport:

@@ -36,7 +36,7 @@ def make_agent(index):
     return InferletProgram(name=f"det{index}", main=main, prefix_hint=PROMPT)
 
 
-def run_stack(seed=7, n_agents=6, qos=False, chunked=False):
+def run_stack(seed=7, n_agents=6, qos=False, chunked=False, disagg=False):
     """Cluster of 2 devices + host KV tier + prefix cache, staggered fleet.
 
     ``qos=True`` layers the multi-tenant QoS service on top (tenant
@@ -45,6 +45,10 @@ def run_stack(seed=7, n_agents=6, qos=False, chunked=False):
     the exact pre-QoS code path (no QoS counters, no tenant records).
     ``chunked=True`` additionally slices prefills under a small token
     budget (chunked prefill), with the same off-knob guarantee.
+    ``disagg=True`` splits the two devices into one prefill and one decode
+    shard with KV-page streaming between them (repro.core.transfer);
+    token sampling is per-instance, so the emitted text must be
+    bit-identical to the disaggregation-off run.
     """
     sim = Simulator(seed=seed)
     tenants = (
@@ -59,7 +63,9 @@ def run_stack(seed=7, n_agents=6, qos=False, chunked=False):
         gpu=GpuConfig(num_kv_pages=96, num_devices=2, host_kv_pages=64),
         control=ControlLayerConfig(
             prefix_cache=True,
-            placement_policy="cache_affinity",
+            placement_policy="disaggregated" if disagg else "cache_affinity",
+            disaggregation=disagg,
+            prefill_shards=1,
             qos=qos,
             tenants=tenants,
             chunked_prefill=chunked,
@@ -189,3 +195,69 @@ def test_chunked_and_qos_stack_is_bit_identical():
 def test_different_seeds_still_complete():
     run = run_stack(seed=8)
     assert all(status == "finished" for status, _ in run["results"])
+
+
+def test_disagg_off_default_leaves_no_trace():
+    """disaggregation=False (the default) must never touch the transfer
+    machinery: no KvTransferScheduler, no chunk listeners, zero counters."""
+    run = run_stack(disagg=False)
+    for counter in (
+        "disagg_handoffs",
+        "disagg_handoff_failures",
+        "disagg_pages_streamed",
+        "disagg_pages_tail",
+        "disagg_bytes_streamed",
+        "disagg_handoff_stall_seconds",
+    ):
+        assert run["metrics"][counter] == 0, counter
+    # Structural inertness, not just quiet counters: the off-knob server
+    # builds no transfer scheduler and installs no streaming hooks.
+    sim = Simulator(seed=1)
+    server = PieServer(sim, num_devices=2)
+    service = server.service()
+    assert service.transfer is None
+    for shard in service.shards:
+        assert shard.role == "mixed"
+        assert shard.scheduler._chunk_listener is None
+
+
+def test_disagg_on_stack_is_bit_identical():
+    """Determinism holds with prefill/decode disaggregation live on the
+    full cluster + swap + prefix-cache stack (and handoffs really happen)."""
+    first = run_stack(disagg=True)
+    second = run_stack(disagg=True)
+    assert first["now"] == second["now"]
+    assert first["results"] == second["results"]
+    assert first["metrics"] == second["metrics"]
+    assert first["metrics"]["disagg_handoffs"] > 0
+
+
+def test_disagg_tokens_match_disagg_off():
+    """Migrating an inferlet mid-flight must not change what it says.
+
+    KV pages and embed slots are copied content-exactly and sampling uses
+    the per-instance rng, so the emitted text (and finish status) of every
+    inferlet is bit-identical whether the fleet ran disaggregated or not —
+    only placement and timing may differ."""
+    on = run_stack(disagg=True)
+    off = run_stack(disagg=False)
+    assert all(status == "finished" for status, _ in on["results"])
+    assert on["results"] == off["results"]
+    assert on["metrics"]["disagg_handoffs"] > 0
+
+
+def test_disagg_composed_with_qos_and_chunked_is_bit_identical():
+    """The full stack with *every* subsystem on — QoS admission/dispatch,
+    chunked prefill slicing, swap tier, prefix cache AND disaggregated
+    shard roles — must stay deterministic, keep streaming chunk-wise, and
+    still emit the same tokens as the disaggregation-off composition."""
+    first = run_stack(qos=True, chunked=True, disagg=True)
+    second = run_stack(qos=True, chunked=True, disagg=True)
+    assert first["now"] == second["now"]
+    assert first["results"] == second["results"]
+    assert first["metrics"] == second["metrics"]
+    assert first["metrics"]["disagg_handoffs"] > 0
+    assert first["metrics"]["prefill_chunks_dispatched"] > 0
+    assert first["metrics"]["qos_admitted"] > 0
+    off = run_stack(qos=True, chunked=True, disagg=False)
+    assert first["results"] == off["results"]

@@ -307,6 +307,57 @@ class TestNetworkLink:
         assert link.messages_sent == 0
         assert link.bytes_sent == 0
 
+    def test_request_accounts_payload_bytes(self, sim):
+        link = NetworkLink(sim, ConstantLatency(0.001))
+
+        async def handler(payload):
+            return "ack"
+
+        async def main():
+            return await link.request(handler, "blob", size_bytes=512)
+
+        sim.run_until_complete(main())
+        assert link.round_trips == 1
+        assert link.messages_sent == 2  # payload out, reply back
+        assert link.bytes_sent == 512  # the zero-sized reply adds nothing
+
+    def test_send_pays_bandwidth_term(self, sim):
+        link = NetworkLink(sim, ConstantLatency(0.01), bytes_per_second=1000.0)
+
+        async def main():
+            await link.send("x", size_bytes=500)
+
+        sim.run_until_complete(main())
+        # One-way delay plus 500 B at 1 kB/s of wire occupancy.
+        assert sim.now == pytest.approx(0.01 + 0.5)
+
+    def test_reserve_serializes_concurrent_transfers(self, sim):
+        """reserve() is the transfer scheduler's no-task FIFO channel: two
+        reservations made at the same instant drain back-to-back, a later
+        one starts fresh once the wire has gone idle."""
+        link = NetworkLink(sim, ConstantLatency(0.002), bytes_per_second=1000.0)
+        first = link.reserve(1000, now=0.0)  # occupies [0, 1), lands 1.002
+        second = link.reserve(500, now=0.0)  # queues: [1, 1.5), lands 1.502
+        assert first == pytest.approx(1.002)
+        assert second == pytest.approx(1.502)
+        # Issued while the wire is still busy: queues behind both.
+        third = link.reserve(500, now=1.2)
+        assert third == pytest.approx(2.002)
+        # Issued after the wire drained: starts at its own now.
+        fourth = link.reserve(1000, now=10.0)
+        assert fourth == pytest.approx(11.002)
+        assert link.messages_sent == 4
+        assert link.bytes_sent == 3000
+        link.reset_counters()
+        assert (link.messages_sent, link.bytes_sent) == (0, 0)
+
+    def test_reserve_on_latency_only_link_costs_no_wire_time(self, sim):
+        link = NetworkLink(sim, ConstantLatency(0.005))
+        # No bandwidth term: payload size occupies no wire time, so two
+        # reservations land at the same instant (pure propagation delay).
+        assert link.reserve(10**9, now=1.0) == pytest.approx(1.005)
+        assert link.reserve(10**9, now=1.0) == pytest.approx(1.005)
+
 
 class TestDeterminism:
     def test_same_seed_same_trace(self):
