@@ -26,4 +26,7 @@ Beyond the paper:
 * ``disaggregation``       — prefill/decode shard roles with overlapped
   KV-page streaming and live handoff vs the strongest co-located
   (least_loaded + chunked prefill) cluster.
+* ``tracing``              — flight-recorder overhead (wall-clock on vs
+  off), non-perturbation, and per-inferlet stall attribution from the
+  exported trace.
 """

@@ -114,13 +114,17 @@ def run_fleet(
     chat_start_s: float = 0.01,
     chat_stagger_s: float = 0.06,
     seed: int = 3,
+    tracing: bool = False,
+    trace_path: str = "",
 ) -> Dict:
     """Run the mixed prefill/decode workload; returns summary counters.
 
     Summarizer arrivals are staggered so a long prefill is in flight for
     most of the chats' steady state — with chunking off each arrival
     stalls every decode stream for the whole prompt; with it on the
-    prompt drains one slice per mixed batch.
+    prompt drains one slice per mixed batch.  ``tracing=True`` records a
+    flight-recorder trace (non-perturbing); ``trace_path`` exports it
+    after the run.
     """
     sim, server = make_pie_setup(
         seed=seed,
@@ -128,6 +132,7 @@ def run_fleet(
         chunked_prefill=chunked,
         prefill_chunk_tokens=chunk_tokens,
         max_batch_tokens=batch_tokens,
+        tracing=tracing or None,
     )
     summarizers = [_make_summarizer(i, prompt_tokens) for i in range(n_summarizers)]
     chats = [_make_chat(i, chat_tokens) for i in range(n_chats)]
@@ -152,6 +157,8 @@ def run_fleet(
     results = sim.run_until_complete(run_all())
     elapsed = sim.now
     metrics = server.metrics
+    if tracing and trace_path:
+        server.export_trace(trace_path)
     stats = server.cluster_stats().combined
 
     chat_results = [r for r in results if isinstance(r.result, dict) and "gaps" in r.result]

@@ -115,6 +115,8 @@ def run_fleet(
     chat_start_s: float = 0.01,
     chat_stagger_s: float = 0.05,
     seed: int = 3,
+    tracing: bool = False,
+    trace_path: str = "",
 ) -> Dict:
     """Run the mixed cluster workload; returns summary counters.
 
@@ -122,7 +124,9 @@ def run_fleet(
     difference is co-located ``least_loaded`` placement vs dedicated
     shard roles with KV-page streaming.  Summarizer arrivals are
     staggered so prefill work is in flight for most of the chats' steady
-    state.
+    state.  ``tracing=True`` turns the flight recorder on (guaranteed
+    non-perturbing); ``trace_path`` additionally exports the trace there
+    after the run (``.jsonl`` event log or Perfetto ``.json``).
     """
     sim, server = make_pie_setup(
         seed=seed,
@@ -134,6 +138,7 @@ def run_fleet(
         chunked_prefill=True,
         prefill_chunk_tokens=PREFILL_CHUNK_TOKENS,
         max_batch_tokens=MAX_BATCH_TOKENS,
+        tracing=tracing or None,
     )
     summarizers = [_make_summarizer(i, prompt_tokens) for i in range(n_summarizers)]
     chats = [_make_chat(i, chat_tokens) for i in range(n_chats)]
@@ -158,6 +163,8 @@ def run_fleet(
     results = sim.run_until_complete(run_all())
     elapsed = sim.now
     metrics = server.metrics
+    if tracing and trace_path:
+        server.export_trace(trace_path)
 
     chat_results = [r for r in results if isinstance(r.result, dict) and "gaps" in r.result]
     summarizer_outputs = [

@@ -26,6 +26,9 @@ def make_pie_setup(
     max_batch_tokens: Optional[int] = None,
     disaggregation: Optional[bool] = None,
     prefill_shards: Optional[int] = None,
+    tracing: Optional[bool] = None,
+    trace_path: Optional[str] = None,
+    trace_sample_ms: Optional[float] = None,
 ) -> Tuple[Simulator, PieServer]:
     """Create a simulator + Pie server + standard tool environment.
 
@@ -39,7 +42,9 @@ def make_pie_setup(
     token-budget batching (:mod:`repro.core.batching`).
     ``disaggregation`` / ``prefill_shards`` split the cluster into prefill
     and decode shard roles with overlapped KV-page streaming between them
-    (:mod:`repro.core.transfer`).
+    (:mod:`repro.core.transfer`).  ``tracing`` / ``trace_path`` /
+    ``trace_sample_ms`` enable the control-plane flight recorder
+    (:mod:`repro.core.trace`).
     """
     sim = Simulator(seed=seed)
     server = PieServer(
@@ -57,6 +62,9 @@ def make_pie_setup(
         max_batch_tokens=max_batch_tokens,
         disaggregation=disaggregation,
         prefill_shards=prefill_shards,
+        tracing=tracing,
+        trace_path=trace_path,
+        trace_sample_ms=trace_sample_ms,
     )
     if with_tools:
         ToolEnvironment(sim, server.external)

@@ -125,11 +125,7 @@ def form_candidate_batches(
 
 def _is_decode(command: Command) -> bool:
     """A single-token forward that is not a piece of a chunked prefill."""
-    return (
-        command.input_tokens <= 1
-        and command.parent is None
-        and command.chunks_taken == 0
-    )
+    return command.is_decode_row
 
 
 def _chunkable(command: Command) -> bool:

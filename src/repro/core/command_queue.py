@@ -56,11 +56,25 @@ class Command:
     # taken, so its ``input_tokens`` is always the true remaining work.
     parent: Optional["Command"] = None
     chunks_taken: int = 0
+    # Flight recorder (repro.core.trace): id of this command's open
+    # queue-wait span, None with tracing off.  Pure bookkeeping — nothing
+    # on the serving path reads it.
+    trace_span: Optional[int] = None
     command_id: int = field(default_factory=lambda: next(_command_ids))
 
     def conflicts_with(self, other: "Command") -> bool:
         """Write-write conflicts prevent two commands from sharing a batch."""
         return bool(self.writes & other.writes)
+
+    @property
+    def is_decode_row(self) -> bool:
+        """A single-token forward that is no piece of a chunked prefill
+        (head slices carry ``parent``; the worn-down final residual carries
+        ``chunks_taken``) — the classifier batch accounting and the trace
+        exec spans share."""
+        return (
+            self.input_tokens <= 1 and self.parent is None and self.chunks_taken == 0
+        )
 
     # -- chunked prefill ----------------------------------------------------
 

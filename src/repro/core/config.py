@@ -132,6 +132,25 @@ class ControlLayerConfig:
     # comes from KernelCostModel.kv_transfer_cost.
     disagg_link_latency_ms: float = 0.05
     disagg_link_gbytes_per_s: float = 16.0
+    # Flight recorder (repro.core.trace): when True the controller builds
+    # a TraceRecorder, every control-plane hot point emits structured
+    # spans/instants on the virtual clock, and a sim-timer sampler records
+    # per-shard telemetry time-series.  Off by default — no recorder is
+    # constructed and the serving path carries no tracing code at all.
+    # When on, emission is read-only: sampled tokens and every virtual
+    # timestamp are bit-identical to a tracing=False run.
+    tracing: bool = False
+    # Default export path for the trace (None = caller exports explicitly
+    # via PieServer.export_trace).  ".jsonl" selects the line-delimited
+    # event log; anything else gets Chrome/Perfetto trace_event JSON.
+    trace_path: str = ""
+    # Telemetry sampling period in virtual milliseconds; 0 disables the
+    # periodic sampler (spans and instants are still recorded).
+    trace_sample_ms: float = 5.0
+    # Ring-buffer bound on completed trace events; the oldest are evicted
+    # first.  Open spans are held outside the ring until closed, so
+    # eviction never orphans a begin/close pair.
+    trace_max_events: int = 200_000
     # Multi-tenant QoS (repro.core.qos): when True, launches pass tenant
     # admission control (token-bucket rate + concurrency caps), candidate
     # batches are scored by class-weighted slack-to-deadline instead of
@@ -220,6 +239,12 @@ class PieConfig:
             raise ReproError(
                 "placement_policy='disaggregated' requires disaggregation=True"
             )
+        if self.control.trace_sample_ms < 0:
+            raise ReproError("trace_sample_ms must be non-negative (0 = no sampler)")
+        if self.control.trace_max_events < 1:
+            raise ReproError("trace_max_events must be at least 1")
+        if self.control.trace_path and not self.control.tracing:
+            raise ReproError("trace_path requires tracing=True")
         if self.control.qos_default_class not in QOS_CLASSES:
             raise ReproError(
                 f"unknown qos_default_class {self.control.qos_default_class!r}; "

@@ -32,6 +32,7 @@ from repro.core.resources import ResourceManager
 from repro.core.router import ClusterSchedulerStats, DeviceShard, Router
 from repro.core.scheduler import BatchScheduler
 from repro.core.swap import SwapManager
+from repro.core.trace import TraceRecorder
 from repro.core.transfer import KvTransferScheduler
 from repro.gpu.host_pool import HostMemoryPool
 from repro.gpu.kernels import KernelCostModel
@@ -146,6 +147,18 @@ class Controller:
         self.external = external or ExternalServices(sim)
         self.bus = MessageBus(sim)
         self.metrics = SystemMetrics()
+        # The flight recorder (repro.core.trace): None when the knob is
+        # off — no recorder exists, no subsystem carries a hook, and the
+        # serving path is byte-identical to the pre-tracing system.  When
+        # on, every emission is read-only, so the simulation itself is
+        # still bit-identical (tokens and virtual timestamps).
+        self.trace: Optional[TraceRecorder] = None
+        if config.control.tracing:
+            self.trace = TraceRecorder(
+                sim,
+                max_events=config.control.trace_max_events,
+                sample_seconds=milliseconds(config.control.trace_sample_ms),
+            )
         # The QoS control plane (repro.core.qos): admission, SLO-aware
         # dispatch, priority-aware preemption and fair share.  None when the
         # knob is off — every hook below is then skipped and the serving
@@ -158,6 +171,7 @@ class Controller:
                 tenants=config.control.tenants,
                 default_class=config.control.qos_default_class,
                 aging_ms=config.control.qos_aging_ms,
+                trace=self.trace,
             )
         self._services: Dict[str, ModelService] = {}
         self._instances: Dict[str, InferletInstance] = {}
@@ -165,6 +179,8 @@ class Controller:
         self._terminate_hook: Optional[Callable[[InferletInstance, str], None]] = None
         for name in registry.names():
             self._services[name] = self._build_service(registry.get(name))
+        if self.trace is not None:
+            self._install_telemetry_sampler()
 
     def _build_service(self, entry: ModelEntry) -> ModelService:
         cost_model = KernelCostModel(entry.config)
@@ -181,6 +197,7 @@ class Controller:
             self.config.control,
             self.metrics,
             qos=self.qos,
+            trace=self.trace,
         )
         shards: List[DeviceShard] = []
         for index, (device, memory) in enumerate(zip(pool.devices, pool.memories)):
@@ -196,10 +213,14 @@ class Controller:
                 self.config.gpu,
                 self.config.control,
                 metrics=self.metrics,
+                trace=self.trace,
+                shard_index=index,
             )
             resources = ResourceManager(
                 memory, model_name=entry.name, host_pool=host_pool
             )
+            if self.trace is not None:
+                resources.set_trace(self.trace, index)
             if swap.enabled:
                 # Admission: never dispatch commands of a suspended owner.
                 scheduler.set_dispatch_guard(swap.is_swapped)
@@ -238,6 +259,7 @@ class Controller:
             is_swapped=swap.is_swapped if swap.enabled else None,
             placement_weight=self.qos.placement_weight if self.qos is not None else None,
             prefill_shards=control.prefill_shards if control.disaggregation else 0,
+            trace=self.trace,
         )
         transfer: Optional[KvTransferScheduler] = None
         if control.disaggregation:
@@ -250,6 +272,7 @@ class Controller:
                 self.metrics,
                 swap,
                 qos=self.qos,
+                trace=self.trace,
             )
             for shard in shards:
                 if shard.role == "prefill":
@@ -283,6 +306,87 @@ class Controller:
         )
         return service
 
+    def _install_telemetry_sampler(self) -> None:
+        """Wire the flight recorder's periodic per-shard telemetry.
+
+        Every sample is a pure read of simulator state — queue depths,
+        busy-time deltas, pool occupancy, link busy fractions — so the
+        timer's presence changes no virtual timestamp anywhere.  The timer
+        only re-arms while inferlets are live (``active_fn``); inferlet
+        registration pokes it back awake, so the event queue stays
+        drainable between workload waves."""
+        trace = self.trace
+        period = trace.sample_seconds
+        gpu = self.config.gpu
+        previous: Dict[Any, Dict[str, float]] = {}
+
+        def sample(recorder: TraceRecorder) -> None:
+            budget = (
+                self.config.control.max_batch_tokens or gpu.max_batch_tokens
+                if self.config.control.chunked_prefill
+                else gpu.max_batch_tokens
+            )
+            for model, service in self._services.items():
+                for shard in service.shards:
+                    key = (model, shard.index)
+                    last = previous.setdefault(
+                        key, {"busy": 0.0, "tokens": 0.0, "batches": 0.0}
+                    )
+                    busy = shard.device.stats.busy_seconds
+                    stats = shard.scheduler.stats
+                    tokens = float(stats.forward_tokens_dispatched)
+                    batches = float(stats.batches_by_kind.get("forward", 0))
+                    d_batches = batches - last["batches"]
+                    mean_tokens = (
+                        (tokens - last["tokens"]) / d_batches if d_batches else 0.0
+                    )
+                    recorder.counter(
+                        "telemetry",
+                        {
+                            "queue_depth": shard.scheduler.total_pending,
+                            "busy_frac": min(
+                                1.0, (busy - last["busy"]) / period if period else 0.0
+                            ),
+                            "kv_occupancy": 1.0
+                            - shard.resources.kv_pages_free / gpu.num_kv_pages,
+                            "embed_occupancy": 1.0
+                            - shard.resources.embeds_free / gpu.num_embed_slots,
+                            "batch_tokens_mean": mean_tokens,
+                            "batch_token_util": (
+                                mean_tokens / budget if budget else 0.0
+                            ),
+                        },
+                        shard=shard.index,
+                    )
+                    last["busy"] = busy
+                    last["tokens"] = tokens
+                    last["batches"] = batches
+                if service.host_pool.enabled:
+                    recorder.counter(
+                        "host_kv",
+                        {
+                            "occupancy": service.host_pool.num_used
+                            / service.host_pool.capacity
+                        },
+                    )
+                if service.transfer is not None:
+                    for link in service.transfer.links():
+                        key = ("link", link.name)
+                        last = previous.setdefault(key, {"busy": 0.0})
+                        busy = link.busy_seconds
+                        recorder.counter(
+                            link.name,
+                            {
+                                "busy_frac": min(
+                                    1.0,
+                                    (busy - last["busy"]) / period if period else 0.0,
+                                )
+                            },
+                        )
+                        last["busy"] = busy
+
+        trace.install_sampler(sample, lambda: self.concurrent_inferlets > 0)
+
     # -- services & models ----------------------------------------------------
 
     def service(self, model: str) -> ModelService:
@@ -308,6 +412,8 @@ class Controller:
     def register_inferlet(self, instance: InferletInstance) -> None:
         self._instances[instance.instance_id] = instance
         self.metrics.register(instance.metrics)
+        if self.trace is not None:
+            self.trace.poke_sampler()
         for service in self._services.values():
             prefix_hint = instance.program.prefix_hint
             prefix_tokens = None
@@ -501,6 +607,14 @@ class Controller:
                 )
             self.metrics.reclamation_terminations += 1
             shard.scheduler.stats.reclamation_terminations += 1
+            if self.trace is not None:
+                self.trace.instant(
+                    "reclaim_terminate",
+                    "sched",
+                    shard=shard.index,
+                    inferlet=victim.instance_id,
+                    args={"requester": requester.instance_id},
+                )
             if self.qos is not None:
                 self.qos.note_preempted_termination(victim)
             self.terminate_inferlet(victim, reason="resource reclamation (FCFS)")
@@ -700,6 +814,17 @@ class Controller:
             reads=reads,
             writes=writes,
         )
+        if self.trace is not None:
+            # Queue-wait span: submission (issue_time) -> popped into a
+            # dispatched batch; closed by the shard scheduler, or at the
+            # drop sites (delivery window, queue teardown, failed slice).
+            command.trace_span = self.trace.begin(
+                f"queue:{kind}",
+                "queue",
+                shard=shard.index,
+                inferlet=instance.instance_id,
+                args={"tokens": input_tokens} if input_tokens else None,
+            )
         if kind == "forward":
             # Counted at completion so commands dropped in the delivery
             # window or at queue teardown (they resolve to None without
@@ -737,8 +862,8 @@ class Controller:
         )
         return future
 
-    @staticmethod
     def _deliver_command(
+        self,
         instance: InferletInstance,
         shard: DeviceShard,
         queue_key: Any,
@@ -752,6 +877,9 @@ class Controller:
         try:
             shard.scheduler.get_queue(queue_key)
         except Exception:
+            if self.trace is not None:
+                self.trace.end(command.trace_span, args={"dropped": True})
+                command.trace_span = None
             if not command.future.done():
                 command.future.set_result(None)
             return

@@ -117,6 +117,20 @@ class InferletLifecycleManager:
         instance.metrics.launched_at = self.sim.now
         instance.channel = ClientChannel(self.sim, instance.instance_id)
         ready = self.sim.create_future(name=f"launch:{instance.instance_id}")
+        trace = self.controller.trace
+        if trace is not None:
+            # Lifecycle span covers launch -> final release; the admission
+            # span covers launch -> running (or abort/failure) so the
+            # trace_report tool can attribute pre-run wait separately.
+            instance._trace_lifecycle = trace.begin(
+                "inferlet",
+                "lifecycle",
+                inferlet=instance.instance_id,
+                args={"program": name, "tenant": instance.tenant},
+            )
+            instance._trace_launch = trace.begin(
+                "launch", "admission", inferlet=instance.instance_id
+            )
         qos = self.controller.qos
         if qos is not None:
             # May raise AdmissionRejectedError; "queued" parks the launch
@@ -135,9 +149,15 @@ class InferletLifecycleManager:
         self._launch_queue.append((instance, ready))
         self._pump_launch_queue()
 
-    @staticmethod
-    def _fail_ready(instance: InferletInstance, ready: SimFuture) -> None:
+    def _fail_ready(self, instance: InferletInstance, ready: SimFuture) -> None:
         """Resolve a ready future whose launch was aborted before running."""
+        trace = self.controller.trace
+        if trace is not None:
+            trace.end(getattr(instance, "_trace_launch", None), args={"aborted": True})
+            trace.end(
+                getattr(instance, "_trace_lifecycle", None),
+                args={"status": "terminated"},
+            )
         if not ready.done():
             ready.set_exception(
                 InferletTerminated(
@@ -173,12 +193,20 @@ class InferletLifecycleManager:
             self.controller.metrics.inferlets_failed += 1
             if self.controller.qos is not None:
                 self.controller.qos.note_finished(instance)
+            trace = self.controller.trace
+            if trace is not None:
+                trace.end(getattr(instance, "_trace_launch", None), args={"failed": True})
+                trace.end(
+                    getattr(instance, "_trace_lifecycle", None), args={"status": "failed"}
+                )
             ready.set_exception(exc)
             return
         self.controller.register_inferlet(instance)
         instance.metrics.status = "running"
         instance.metrics.started_at = self.sim.now
         self.controller.metrics.launch_latencies.append(self.sim.now - instance.created_at)
+        if self.controller.trace is not None:
+            self.controller.trace.end(getattr(instance, "_trace_launch", None))
         ctx = InferletContext(
             instance,
             self.controller,
@@ -215,6 +243,11 @@ class InferletLifecycleManager:
                 # Free the tenant's concurrency slot and pump its admission
                 # queue (idempotent; covers finish, failure and termination).
                 self.controller.qos.note_finished(instance)
+            if self.controller.trace is not None:
+                self.controller.trace.end(
+                    getattr(instance, "_trace_lifecycle", None),
+                    args={"status": instance.metrics.status},
+                )
 
     async def _invoke(self, main, ctx: InferletContext, args: List[str]) -> Any:
         coro_or_value = main(ctx)

@@ -198,6 +198,7 @@ class QosService:
         tenants: Tuple[TenantSpec, ...] = (),
         default_class: str = "standard",
         aging_ms: float = 200.0,
+        trace=None,
     ) -> None:
         if default_class not in QOS_CLASSES:
             raise ReproError(
@@ -207,6 +208,10 @@ class QosService:
         self.metrics = metrics
         self.default_class = default_class
         self.aging_s = aging_ms / 1e3
+        # Flight recorder (repro.core.trace): parked launches carry an
+        # "admission_queued" span from park to admit/cancel.  None = off.
+        self._trace = trace
+        self._trace_parked: Dict[str, int] = {}
         self._tenants: Dict[str, _TenantState] = {}
         # instance id -> (instance, tenant state); populated at admission.
         self._instances: Dict[str, Tuple["InferletInstance", _TenantState]] = {}
@@ -278,6 +283,13 @@ class QosService:
         if len(state.wait_queue) >= max(0, state.spec.max_queued):
             state.metrics.rejected += 1
             self.metrics.qos_rejected += 1
+            if self._trace is not None:
+                self._trace.instant(
+                    "admission_rejected",
+                    "admission",
+                    inferlet=instance.instance_id,
+                    args={"tenant": instance.tenant},
+                )
             raise AdmissionRejectedError(
                 f"tenant {instance.tenant!r} admission queue is full "
                 f"({state.spec.max_queued} waiting); shed load or raise max_queued",
@@ -286,6 +298,13 @@ class QosService:
         state.wait_queue.append((instance, proceed, on_cancelled))
         state.metrics.queued += 1
         self.metrics.qos_queued += 1
+        if self._trace is not None:
+            self._trace_parked[instance.instance_id] = self._trace.begin(
+                "admission_queued",
+                "admission",
+                inferlet=instance.instance_id,
+                args={"tenant": instance.tenant},
+            )
         self._arm_refill_timer(state)
         return "queued"
 
@@ -304,12 +323,19 @@ class QosService:
         for entry in list(state.wait_queue):
             if entry[0].instance_id == instance.instance_id:
                 state.wait_queue.remove(entry)
+                if self._trace is not None:
+                    self._trace.end(
+                        self._trace_parked.pop(instance.instance_id, None),
+                        args={"cancelled": True},
+                    )
                 if entry[2] is not None:
                     entry[2]()
                 return True
         return False
 
     def _admit(self, state: _TenantState, instance: "InferletInstance") -> None:
+        if self._trace is not None:
+            self._trace.end(self._trace_parked.pop(instance.instance_id, None))
         state.running.add(instance.instance_id)
         state.metrics.admitted += 1
         self.metrics.qos_admitted += 1
@@ -322,7 +348,12 @@ class QosService:
                 # Aborted while parked and not yet cancelled explicitly:
                 # drop it without consuming a slot or token, resolving any
                 # awaiter via the cancel hook.
-                _, _, on_cancelled = state.wait_queue.popleft()
+                aborted, _, on_cancelled = state.wait_queue.popleft()
+                if self._trace is not None:
+                    self._trace.end(
+                        self._trace_parked.pop(aborted.instance_id, None),
+                        args={"cancelled": True},
+                    )
                 if on_cancelled is not None:
                     on_cancelled()
                 continue

@@ -103,6 +103,15 @@ class ResourceManager:
         # is dropped and the page returns to the pool (prefix-cache
         # bookkeeping hook; None when no one listens).
         self._kv_free_listener: Optional[Callable[[int], None]] = None
+        # Flight recorder (repro.core.trace): marks KV-page commits and
+        # releases on this shard's timeline.  None when tracing is off.
+        self._trace = None
+        self._trace_shard = 0
+
+    def set_trace(self, trace, shard_index: int) -> None:
+        """Install the flight recorder for this shard's KV accounting."""
+        self._trace = trace
+        self._trace_shard = shard_index
 
     # -- address space lifecycle -------------------------------------------
 
@@ -163,6 +172,14 @@ class ResourceManager:
             handles.append(
                 KvPage(vid=vid, owner=owner, page_size=self.page_size, model=self.model_name)
             )
+        if self._trace is not None and handles:
+            self._trace.instant(
+                "kv_alloc",
+                "sched",
+                shard=self._trace_shard,
+                inferlet=owner,
+                args={"pages": len(handles), "free": self.kv_pages_free},
+            )
         return handles
 
     def dealloc_kv_pages(self, owner: str, handles: Sequence[KvPage]) -> None:
@@ -179,6 +196,14 @@ class ResourceManager:
                 self.host_pool.discard([slot])
                 continue
             self._release_kv(physical_id)
+        if self._trace is not None and handles:
+            self._trace.instant(
+                "kv_dealloc",
+                "sched",
+                shard=self._trace_shard,
+                inferlet=owner,
+                args={"pages": len(handles), "free": self.kv_pages_free},
+            )
 
     def resolve_kv(self, owner: str, handle: KvPage) -> int:
         space = self._space(owner)

@@ -106,6 +106,7 @@ class Router:
         is_swapped: Optional[Callable[[str], bool]] = None,
         placement_weight: Optional[Callable[[str], float]] = None,
         prefill_shards: int = 0,
+        trace=None,
     ) -> None:
         if not shards:
             raise ReproError("router needs at least one shard")
@@ -140,6 +141,8 @@ class Router:
         # prefix).
         self._hint_shard: Dict[tuple, int] = {}
         self._instance_hints: Dict[str, tuple] = {}
+        # Flight recorder (repro.core.trace); None when tracing is off.
+        self._trace = trace
 
     # -- placement -------------------------------------------------------------
 
@@ -161,6 +164,14 @@ class Router:
         else:
             index = self._place_cache_affinity(hint, prefix_tokens)
         self._placements[instance_id] = index
+        if self._trace is not None:
+            self._trace.instant(
+                "place",
+                "sched",
+                shard=index,
+                inferlet=instance_id,
+                args={"policy": self.policy, "role": self.shards[index].role},
+            )
         return self.shards[index]
 
     def release(self, instance_id: str) -> None:
@@ -357,6 +368,7 @@ def aggregate_scheduler_stats(stats: Sequence[SchedulerStats]) -> SchedulerStats
         total.chunk_stall_saved_seconds += record.chunk_stall_saved_seconds
         total.decode_rows_dispatched += record.decode_rows_dispatched
         total.prefill_rows_dispatched += record.prefill_rows_dispatched
+        total.forward_tokens_dispatched += record.forward_tokens_dispatched
         for kind, count in record.batches_by_kind.items():
             total.batches_by_kind[kind] = total.batches_by_kind.get(kind, 0) + count
         total.batch_sizes.extend(record.batch_sizes)

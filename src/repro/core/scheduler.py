@@ -54,6 +54,10 @@ class SchedulerStats:
     # prefill-role shards never run a decode row.
     decode_rows_dispatched: int = 0
     prefill_rows_dispatched: int = 0
+    # Input tokens carried by dispatched forward batches (decode rows count
+    # one each); the telemetry sampler divides deltas of this by the token
+    # budget to report batch token utilization per shard.
+    forward_tokens_dispatched: int = 0
 
     def record(self, batch: CandidateBatch) -> None:
         self.batches_dispatched += 1
@@ -62,6 +66,8 @@ class SchedulerStats:
         self.batch_sizes.append(len(batch.commands))
         self.decode_rows_dispatched += batch.decode_rows
         self.prefill_rows_dispatched += batch.prefill_rows
+        if batch.kind == "forward":
+            self.forward_tokens_dispatched += batch.total_input_tokens
 
     @property
     def mean_batch_size(self) -> float:
@@ -82,6 +88,8 @@ class BatchScheduler:
         gpu_config: GpuConfig,
         control_config: ControlLayerConfig,
         metrics=None,
+        trace=None,
+        shard_index: int = 0,
     ) -> None:
         self.sim = sim
         self.device = device
@@ -114,6 +122,11 @@ class BatchScheduler:
         # (disaggregation streams the slice's committed KV pages while the
         # residual is still queued).  None = no observer, zero overhead.
         self._chunk_listener: Optional[Callable[[Command], None]] = None
+        # Flight recorder (repro.core.trace): None when tracing is off —
+        # queue-wait spans end at dispatch/drop and per-command exec spans
+        # are emitted at batch completion, all read-only.
+        self._trace = trace
+        self._shard_index = shard_index
         self.device.on_idle(self._on_device_idle)
 
     def set_dispatch_guard(self, is_suspended: Optional[Callable[[str], bool]]) -> None:
@@ -170,6 +183,9 @@ class BatchScheduler:
         # waiting on them — keeps awaiters and bookkeeping hooked on
         # completion from hanging forever.
         for command in queue.drain_pending():
+            if self._trace is not None:
+                self._trace.end(command.trace_span, args={"dropped": True})
+                command.trace_span = None
             if not command.future.done():
                 command.future.set_result(None)
         for barrier in queue.drain_barriers():
@@ -411,6 +427,8 @@ class BatchScheduler:
             chunk.parent.take_chunk(chunk, self.sim.now)
         if chunks:
             self._record_chunks(batch, chunks)
+        if self._trace is not None:
+            self._trace_dispatch(batch, whole, chunks)
         self.stats.record(batch)
         if self._qos is not None:
             self._qos.note_dispatched(batch.commands)
@@ -424,6 +442,62 @@ class BatchScheduler:
             size=len(batch.commands),
         )
         future.add_done_callback(lambda fut, batch=batch: self._on_batch_done(batch, fut))
+
+    def _trace_dispatch(self, batch: CandidateBatch, whole: List[Command], chunks: List[Command]) -> None:
+        """Close the queue-wait spans of everything this batch carries.
+
+        A head slice ends its *parent's* wait (the residual got served) and
+        immediately opens a fresh wait span for the residual, whose
+        ``issue_time`` was just reset by ``take_chunk``."""
+        trace = self._trace
+        for command in whole:
+            trace.end(command.trace_span)
+            command.trace_span = None
+        for chunk in chunks:
+            parent = chunk.parent
+            trace.end(parent.trace_span, args={"sliced": chunk.input_tokens})
+            parent.trace_span = trace.begin(
+                f"queue:{parent.kind}",
+                "queue",
+                shard=self._shard_index,
+                inferlet=parent.inferlet_id,
+                args={"residual_tokens": parent.input_tokens},
+            )
+        batch._trace_dispatch_ts = self.sim.now
+
+    def _trace_batch_done(self, batch: CandidateBatch, failed: bool) -> None:
+        """Emit the exec spans of a completed batch (dispatch -> done)."""
+        trace = self._trace
+        start = getattr(batch, "_trace_dispatch_ts", self.sim.now)
+        if batch.kind == "forward":
+            tokens = batch.total_input_tokens
+        else:
+            tokens = 0
+        trace.complete(
+            f"batch:{batch.kind}",
+            "sched",
+            start,
+            shard=self._shard_index,
+            args={
+                "commands": len(batch.commands),
+                "rows": batch.total_rows,
+                "tokens": tokens,
+                "failed": failed,
+            },
+        )
+        for command in batch.commands:
+            if batch.kind == "forward":
+                name = "decode" if command.is_decode_row else "prefill"
+            else:
+                name = command.kind
+            trace.complete(
+                name,
+                "exec",
+                start,
+                shard=self._shard_index,
+                inferlet=command.inferlet_id,
+                args={"tokens": max(1, command.input_tokens), "kind": command.kind},
+            )
 
     def _record_chunks(self, batch: CandidateBatch, chunks: List[Command]) -> None:
         """Account one batch that carries sliced-prefill head chunks.
@@ -459,6 +533,8 @@ class BatchScheduler:
     def _on_batch_done(self, batch: CandidateBatch, future) -> None:
         error = future.exception()
         results = future.result() if error is None else None
+        if self._trace is not None:
+            self._trace_batch_done(batch, failed=error is not None)
         for index, command in enumerate(batch.commands):
             if command.is_chunk:
                 # A head slice completes *silently*: its residual is still
@@ -479,6 +555,11 @@ class BatchScheduler:
                     queue = self._queues.get(command.queue_key)
                     if queue is not None:
                         queue.drop_head(command.parent)
+                    if self._trace is not None:
+                        self._trace.end(
+                            command.parent.trace_span, args={"dropped": True}
+                        )
+                        command.parent.trace_span = None
                 if not command.future.done():
                     if failure is not None:
                         command.future.set_exception(failure)

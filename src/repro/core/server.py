@@ -59,6 +59,9 @@ class PieServer:
         max_batch_tokens: Optional[int] = None,
         disaggregation: Optional[bool] = None,
         prefill_shards: Optional[int] = None,
+        tracing: Optional[bool] = None,
+        trace_path: Optional[str] = None,
+        trace_sample_ms: Optional[float] = None,
     ) -> None:
         self.sim = sim
         config = config or PieConfig()
@@ -116,6 +119,19 @@ class PieServer:
             if prefill_shards is not None:
                 overrides["prefill_shards"] = prefill_shards
             config = replace(config, control=replace(config.control, **overrides))
+        if tracing is not None or trace_path is not None or trace_sample_ms is not None:
+            # Combined replace: trace_path implies tracing (config validation
+            # rejects trace_path without tracing=True).
+            overrides = {}
+            if trace_path is not None:
+                overrides["trace_path"] = trace_path
+                if tracing is None:
+                    tracing = True
+            if tracing is not None:
+                overrides["tracing"] = tracing
+            if trace_sample_ms is not None:
+                overrides["trace_sample_ms"] = trace_sample_ms
+            config = replace(config, control=replace(config.control, **overrides))
         self.config = config
         registry = ModelRegistry(models or ["llama-sim-1b"])
         self.registry = registry
@@ -132,6 +148,25 @@ class PieServer:
     @property
     def metrics(self):
         return self.controller.metrics
+
+    @property
+    def trace(self):
+        """The flight recorder, or None when ``tracing`` is off."""
+        return self.controller.trace
+
+    def export_trace(self, path: Optional[str] = None) -> int:
+        """Write the recorded trace; returns the number of events exported.
+
+        ``path`` defaults to ``ControlLayerConfig.trace_path``.  A ``.jsonl``
+        suffix selects the line-delimited event log, anything else the
+        Chrome/Perfetto ``trace_event`` JSON document.
+        """
+        if self.controller.trace is None:
+            raise ClientError("tracing is off: construct the server with tracing=True")
+        target = path or self.config.control.trace_path
+        if not target:
+            raise ClientError("no trace path: pass export_trace(path=...) or set trace_path")
+        return self.controller.trace.export(target)
 
     @property
     def num_devices(self) -> int:

@@ -60,12 +60,16 @@ class SwapManager:
         control_config: ControlLayerConfig,
         metrics: SystemMetrics,
         qos=None,
+        trace=None,
     ) -> None:
         self.sim = sim
         self.host_pool = host_pool
         self.cost_model = cost_model
         self.config = control_config
         self.metrics = metrics
+        # Flight recorder (repro.core.trace): swap-out/in instants plus a
+        # "swap_stall" span over each resume-path fault-in.  None = off.
+        self._trace = trace
         # QoS service (repro.core.qos): when present, reclamation victims
         # are ordered lowest-class / most-slack-first instead of by page
         # yield, so batch tenants absorb memory pressure before
@@ -225,6 +229,14 @@ class SwapManager:
             return 0
         self._swapped[owner] = (instance, shard)
         self.metrics.record_swap_out(moved, self.host_pool.transfer_bytes(moved))
+        if self._trace is not None:
+            self._trace.instant(
+                "swap_out",
+                "swap",
+                shard=shard.index,
+                inferlet=owner,
+                args={"pages": moved},
+            )
         shard.device.submit(
             kind="swap_out",
             run=lambda: None,
@@ -266,6 +278,14 @@ class SwapManager:
         restored = shard.resources.swap_in_kv(owner)
         self._swapped.pop(owner, None)
         self.metrics.record_swap_in(restored, self.host_pool.transfer_bytes(restored))
+        if self._trace is not None:
+            self._trace.instant(
+                "swap_in",
+                "swap",
+                shard=shard.index,
+                inferlet=owner,
+                args={"pages": restored},
+            )
         future = shard.device.submit(
             kind="swap_in",
             run=lambda: None,
@@ -286,6 +306,13 @@ class SwapManager:
         if future is not None:
             await future
             self.metrics.swap_stall_seconds += self.sim.now - started
+            if self._trace is not None:
+                self._trace.complete(
+                    "swap_stall",
+                    "swap",
+                    started,
+                    inferlet=instance.instance_id,
+                )
 
     # -- swap-first reclamation -------------------------------------------
 

@@ -1,0 +1,377 @@
+"""Flight recorder: bounded structured tracing for the control plane.
+
+``SystemMetrics`` answers *how much* (flat end-of-run counters); the flight
+recorder answers *when* and *why*: every control-plane hot point — QoS
+admission, command queue wait, batch formation and forward dispatch, KV
+commit, chunked-prefill slicing, swap suspend/resume, KV streaming and live
+migration, link occupancy — emits structured spans and instant events
+stamped with the virtual clock, and a sim-timer-driven sampler records
+per-shard telemetry time-series (queue depth, batch token utilization,
+KV-pool occupancy, link busy fraction).
+
+Design constraints, in order:
+
+1. **Inert when off.**  ``ControlLayerConfig.tracing`` defaults to False
+   and no :class:`TraceRecorder` is constructed; every subsystem takes
+   ``trace=None`` and guards each emission with a single ``if``, the same
+   zero-overhead optional-hook pattern as the QoS/chunking/transfer knobs.
+2. **Non-perturbing when on.**  Emission only *reads* simulator state
+   (``sim.now``) and appends to Python-side buffers: no RNG draws, no
+   future resolution, no state mutation the serving path can observe.  The
+   sampler does schedule timer events, but its callbacks are read-only and
+   the simulator orders events by ``(time, seq)`` with a monotone ``seq``
+   — inserting extra events never reorders existing ones — so sampled
+   tokens and every virtual timestamp stay bit-identical to a run with
+   tracing off (asserted in ``tests/test_determinism.py``).
+3. **Bounded.**  Completed events live in a ring buffer of
+   ``trace_max_events``; the oldest are evicted first.  *Open* spans are
+   held out of the ring (in a side table keyed by span id) until they are
+   ended, so eviction can never orphan a begin/close pair: a span is
+   either still open, fully present, or fully evicted.
+
+Exporters produce Chrome/Perfetto ``trace_event`` JSON (load it in
+``ui.perfetto.dev`` or ``chrome://tracing``) and a line-delimited JSONL
+event log consumed by :mod:`repro.tools.trace_report`, which reconstructs
+per-inferlet lifecycle timelines and attributes each inferlet's latency to
+admission / queue / prefill / decode-gap / swap / transfer / compute.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from itertools import count
+from typing import Callable, Deque, Dict, Iterable, List, Optional
+
+#: Span/event categories emitted by the instrumented subsystems.  The
+#: stall-attribution sweep in ``repro.tools.trace_report`` keys off these.
+TRACE_CATEGORIES = (
+    "lifecycle",  # one span per inferlet, launch -> finish/abort
+    "admission",  # QoS park/admit plus launch handling
+    "queue",      # command submitted -> popped into a dispatched batch
+    "exec",       # dispatched batch / command -> device completion
+    "swap",       # swap-out/in instants and fault-in stalls
+    "transfer",   # KV streaming, handoff stalls, live migration
+    "sched",      # batch formation / dispatch bookkeeping
+    "net",        # link wire occupancy
+    "counter",    # sampler time-series
+)
+
+
+class TraceRecorder:
+    """Bounded, deterministic span/event recorder on the virtual clock.
+
+    All timestamps are virtual-time **seconds** internally; the Perfetto
+    exporter converts to the microseconds the ``trace_event`` format
+    expects.  Instances are cheap; everything is plain dicts and a deque.
+    """
+
+    def __init__(self, sim, max_events: int = 200_000, sample_seconds: float = 0.0):
+        self.sim = sim
+        self.max_events = int(max_events)
+        self.sample_seconds = float(sample_seconds)
+        # Completed events only (ph X / i / C), in completion order.
+        self._events: Deque[dict] = deque(maxlen=self.max_events)
+        # Open spans by id: never evicted, so begin/close pairs stay
+        # consistent no matter how small the ring is.
+        self._open: Dict[int, dict] = {}
+        self._span_ids = count(1)
+        #: Total events ever emitted (evicted ones included).
+        self.total_emitted = 0
+        #: Sampler bookkeeping (installed by the controller when tracing).
+        self._sample_fn: Optional[Callable[["TraceRecorder"], None]] = None
+        self._active_fn: Optional[Callable[[], bool]] = None
+        self._sampler_armed = False
+        self.samples_taken = 0
+
+    # -- span / event emission --------------------------------------------
+
+    def begin(
+        self,
+        name: str,
+        cat: str,
+        shard: Optional[int] = None,
+        inferlet: Optional[str] = None,
+        parent: Optional[int] = None,
+        args: Optional[dict] = None,
+    ) -> int:
+        """Open a span at ``sim.now``; returns its id for :meth:`end`."""
+        span_id = next(self._span_ids)
+        self._open[span_id] = {
+            "ph": "X",
+            "name": name,
+            "cat": cat,
+            "ts": self.sim.now,
+            "shard": shard,
+            "inferlet": inferlet,
+            "parent": parent,
+            "id": span_id,
+            "args": args,
+        }
+        return span_id
+
+    def end(self, span_id: Optional[int], args: Optional[dict] = None) -> None:
+        """Close an open span (idempotent: unknown/closed ids are no-ops)."""
+        if span_id is None:
+            return
+        span = self._open.pop(span_id, None)
+        if span is None:
+            return
+        if args:
+            merged = dict(span.get("args") or {})
+            merged.update(args)
+            span["args"] = merged
+        span["dur"] = self.sim.now - span["ts"]
+        self._append(span)
+
+    def complete(
+        self,
+        name: str,
+        cat: str,
+        start: float,
+        end: Optional[float] = None,
+        shard: Optional[int] = None,
+        inferlet: Optional[str] = None,
+        parent: Optional[int] = None,
+        args: Optional[dict] = None,
+    ) -> None:
+        """Record a span whose endpoints are both already known."""
+        stop = self.sim.now if end is None else end
+        self._append(
+            {
+                "ph": "X",
+                "name": name,
+                "cat": cat,
+                "ts": start,
+                "dur": max(0.0, stop - start),
+                "shard": shard,
+                "inferlet": inferlet,
+                "parent": parent,
+                "id": next(self._span_ids),
+                "args": args,
+            }
+        )
+
+    def instant(
+        self,
+        name: str,
+        cat: str,
+        shard: Optional[int] = None,
+        inferlet: Optional[str] = None,
+        args: Optional[dict] = None,
+    ) -> None:
+        """Record a zero-duration marker at ``sim.now``."""
+        self._append(
+            {
+                "ph": "i",
+                "name": name,
+                "cat": cat,
+                "ts": self.sim.now,
+                "shard": shard,
+                "inferlet": inferlet,
+                "args": args,
+            }
+        )
+
+    def counter(self, name: str, values: dict, shard: Optional[int] = None) -> None:
+        """Record one sample of a named time-series (Perfetto ``C`` track)."""
+        self._append(
+            {
+                "ph": "C",
+                "name": name,
+                "cat": "counter",
+                "ts": self.sim.now,
+                "shard": shard,
+                "args": dict(values),
+            }
+        )
+
+    def _append(self, event: dict) -> None:
+        self.total_emitted += 1
+        self._events.append(event)
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def dropped(self) -> int:
+        """Completed events evicted by the ring buffer."""
+        return self.total_emitted - len(self._events)
+
+    def events(self, cat: Optional[str] = None) -> List[dict]:
+        """Completed events in completion order (optionally one category)."""
+        if cat is None:
+            return list(self._events)
+        return [event for event in self._events if event["cat"] == cat]
+
+    def open_spans(self) -> List[dict]:
+        """Spans begun but not yet ended (never subject to eviction)."""
+        return list(self._open.values())
+
+    # -- periodic telemetry sampler ----------------------------------------
+
+    def install_sampler(
+        self,
+        sample_fn: Callable[["TraceRecorder"], None],
+        active_fn: Callable[[], bool],
+    ) -> None:
+        """Install the periodic sampler.
+
+        ``sample_fn(recorder)`` records one tick of counter events; it must
+        be read-only with respect to simulation state.  ``active_fn()``
+        gates re-arming: once it reports False the timer stops, keeping the
+        event queue drainable, and :meth:`poke_sampler` (called on inferlet
+        registration) restarts it when activity resumes.
+        """
+        self._sample_fn = sample_fn
+        self._active_fn = active_fn
+
+    def poke_sampler(self) -> None:
+        """(Re)arm the sampling timer; no-op if already armed or disabled."""
+        if self._sample_fn is None or self.sample_seconds <= 0:
+            return
+        if self._sampler_armed:
+            return
+        self._sampler_armed = True
+        self.sim.schedule(self.sample_seconds, self._sampler_tick)
+
+    def _sampler_tick(self) -> None:
+        self._sampler_armed = False
+        self.samples_taken += 1
+        self._sample_fn(self)
+        if self._active_fn is not None and self._active_fn():
+            self.poke_sampler()
+
+    # -- exporters ---------------------------------------------------------
+
+    def _export_events(self) -> Iterable[dict]:
+        """Completed events followed by still-open spans.
+
+        Open spans get a provisional duration up to ``sim.now`` and an
+        ``open: true`` arg so consumers can tell them from closed ones
+        (aborted inferlets leave their lifecycle span open, for example).
+        """
+        for event in self._events:
+            yield event
+        for span in self._open.values():
+            provisional = dict(span)
+            provisional["dur"] = max(0.0, self.sim.now - span["ts"])
+            merged = dict(span.get("args") or {})
+            merged["open"] = True
+            provisional["args"] = merged
+            yield provisional
+
+    def export_jsonl(self, path) -> int:
+        """Write one JSON object per line; returns the number of lines."""
+        lines = 0
+        with open(path, "w", encoding="utf-8") as handle:
+            for event in self._export_events():
+                handle.write(json.dumps(_jsonable(event), sort_keys=True))
+                handle.write("\n")
+                lines += 1
+        return lines
+
+    def export_perfetto(self, path) -> int:
+        """Write Chrome/Perfetto ``trace_event`` JSON; returns event count.
+
+        Shards map to processes (pid ``shard + 1``; pid 0 is the control
+        plane), inferlets to threads (stable first-seen ordinals), and
+        counter samples to ``C`` tracks on their shard's process.
+        """
+        trace_events: List[dict] = []
+        tids: Dict[str, int] = {}
+        pids_seen: Dict[int, Optional[int]] = {}
+
+        def pid_of(shard: Optional[int]) -> int:
+            pid = 0 if shard is None else int(shard) + 1
+            pids_seen.setdefault(pid, shard)
+            return pid
+
+        def tid_of(inferlet: Optional[str]) -> int:
+            if inferlet is None:
+                return 0
+            return tids.setdefault(inferlet, len(tids) + 1)
+
+        for event in self._export_events():
+            record = {
+                "name": event["name"],
+                "cat": event["cat"],
+                "ph": event["ph"],
+                "ts": event["ts"] * 1e6,
+                "pid": pid_of(event.get("shard")),
+                "tid": tid_of(event.get("inferlet")),
+            }
+            if event["ph"] == "X":
+                record["dur"] = event.get("dur", 0.0) * 1e6
+            if event["ph"] == "i":
+                record["s"] = "t"
+            args = event.get("args")
+            if event["ph"] == "C":
+                record["args"] = _jsonable(args or {})
+            else:
+                extra = dict(args or {})
+                if event.get("id") is not None:
+                    extra["span_id"] = event["id"]
+                if event.get("parent") is not None:
+                    extra["parent"] = event["parent"]
+                if extra:
+                    record["args"] = _jsonable(extra)
+            trace_events.append(record)
+
+        metadata: List[dict] = []
+        for pid, shard in sorted(pids_seen.items()):
+            name = "control-plane" if shard is None else f"shard{shard}"
+            metadata.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": name},
+                }
+            )
+        for inferlet, tid in sorted(tids.items(), key=lambda item: item[1]):
+            for pid in pids_seen:
+                metadata.append(
+                    {
+                        "name": "thread_name",
+                        "ph": "M",
+                        "pid": pid,
+                        "tid": tid,
+                        "args": {"name": inferlet},
+                    }
+                )
+
+        document = {
+            "displayTimeUnit": "ms",
+            "traceEvents": metadata + trace_events,
+            "otherData": {
+                "clock": "virtual-seconds",
+                "dropped_events": self.dropped,
+                "samples_taken": self.samples_taken,
+            },
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(document, handle)
+        return len(trace_events)
+
+    def export(self, path) -> int:
+        """Export by extension: ``.jsonl`` -> event log, else Perfetto."""
+        if str(path).endswith(".jsonl"):
+            return self.export_jsonl(path)
+        return self.export_perfetto(path)
+
+
+def _jsonable(value):
+    """Best-effort conversion to JSON-serialisable builtins."""
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if hasattr(value, "item"):  # numpy scalars
+        try:
+            return value.item()
+        except Exception:
+            pass
+    return str(value)

@@ -112,6 +112,7 @@ class KvTransferScheduler:
         metrics: SystemMetrics,
         swap: "SwapManager",
         qos: Optional["QosService"] = None,
+        trace=None,
     ) -> None:
         self.sim = sim
         self.shards = shards
@@ -121,6 +122,10 @@ class KvTransferScheduler:
         self.metrics = metrics
         self.swap = swap
         self.qos = qos
+        # Flight recorder (repro.core.trace): "kv_stream" spans per flush,
+        # a "handoff" span covering stall+landing, and wire spans via the
+        # link tracer hook.  None = off, no hook installed anywhere.
+        self._trace = trace
         self.page_size = cost_model.config.kv_page_size
         self.page_bytes = kv_page_bytes(cost_model.config)
         self.min_stream_pages = max(1, control_config.disagg_stream_min_pages)
@@ -247,6 +252,20 @@ class KvTransferScheduler:
         stream.link_ready = max(stream.link_ready, arrival)
         self.metrics.disagg_pages_streamed += len(pids)
         self.metrics.disagg_bytes_streamed += len(pids) * self.page_bytes
+        if self._trace is not None:
+            self._trace.complete(
+                "kv_stream",
+                "transfer",
+                self.sim.now,
+                end=arrival,
+                shard=stream.src_index,
+                inferlet=owner,
+                args={
+                    "pages": len(pids),
+                    "bytes": len(pids) * self.page_bytes,
+                    "dst": dst.index,
+                },
+            )
 
     def _destination(self, stream: _Stream) -> "DeviceShard":
         """The decode shard this stream targets (chosen once, lazily).
@@ -277,6 +296,8 @@ class KvTransferScheduler:
                 name=f"kvlink:{src_index}->{dst_index}",
                 bytes_per_second=self.control.disagg_link_gbytes_per_s * 1e9,
             )
+            if self._trace is not None:
+                link.set_tracer(self._trace_wire)
             self._links[key] = link
         return link
 
@@ -409,6 +430,26 @@ class KvTransferScheduler:
         self.metrics.disagg_handoffs += 1
         self.metrics.disagg_pages_tail += len(tail)
         self.metrics.disagg_handoff_stall_seconds += stall
+        if self._trace is not None:
+            self._trace.instant(
+                "migrate",
+                "transfer",
+                shard=dst.index,
+                inferlet=owner,
+                args={"src": src.index, "dst": dst.index},
+            )
+            if stall + landing > 0.0:
+                # The decode side cannot serve this owner before the link
+                # drains and the tail lands — the TTFT-domain handoff cost.
+                self._trace.complete(
+                    "handoff",
+                    "transfer",
+                    now,
+                    end=now + stall + landing,
+                    shard=dst.index,
+                    inferlet=owner,
+                    args={"stall": stall, "landing": landing, "tail_pages": len(tail)},
+                )
 
         self._streams.pop(owner, None)
         self._drop_tracks(owner)
@@ -464,3 +505,13 @@ class KvTransferScheduler:
 
     def links(self) -> List[NetworkLink]:
         return [self._links[key] for key in sorted(self._links)]
+
+    def _trace_wire(self, link: NetworkLink, start: float, end: float, size_bytes: int) -> None:
+        """Link tracer hook: one wire-occupancy span per reservation."""
+        self._trace.complete(
+            link.name,
+            "net",
+            start,
+            end=end,
+            args={"bytes": size_bytes},
+        )

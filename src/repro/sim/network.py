@@ -42,9 +42,21 @@ class NetworkLink:
         self.messages_sent = 0
         self.round_trips = 0
         self.bytes_sent = 0
+        # Total wire-occupancy time accumulated by reserve(); the telemetry
+        # sampler turns deltas of this into a link busy fraction.
+        self.busy_seconds = 0.0
         # Serialized-channel clock for reserve(): the virtual time until
         # which the wire is occupied by already reserved transfers.
         self._busy_until = 0.0
+        # Flight recorder hook: called with (link, start, end, size_bytes)
+        # for every reservation.  None (the default) costs one comparison.
+        self._tracer: Optional[Callable[["NetworkLink", float, float, int], None]] = None
+
+    def set_tracer(
+        self, tracer: Optional[Callable[["NetworkLink", float, float, int], None]]
+    ) -> None:
+        """Install a read-only observer of wire reservations."""
+        self._tracer = tracer
 
     def one_way_delay(self) -> float:
         return self.latency.sample(self.sim.rng)
@@ -77,8 +89,11 @@ class NetworkLink:
             now = self.sim.now
         start = max(now, self._busy_until)
         self._busy_until = start + self.transfer_seconds(size_bytes)
+        self.busy_seconds += self._busy_until - start
         self.messages_sent += 1
         self.bytes_sent += size_bytes
+        if self._tracer is not None:
+            self._tracer(self, start, self._busy_until, size_bytes)
         return self._busy_until + self.one_way_delay()
 
     async def request(
@@ -106,3 +121,4 @@ class NetworkLink:
         self.messages_sent = 0
         self.round_trips = 0
         self.bytes_sent = 0
+        self.busy_seconds = 0.0

@@ -1,0 +1,14 @@
+"""Offline analysis tools for flight-recorder traces.
+
+``python -m repro.tools.trace_report trace.jsonl`` reconstructs
+per-inferlet lifecycle timelines from a trace exported by
+:class:`repro.core.trace.TraceRecorder` and attributes each inferlet's
+end-to-end latency to admission / queue / prefill / decode / swap /
+transfer / compute time.
+
+This package intentionally avoids importing its submodules at import time
+so that ``python -m repro.tools.trace_report`` runs without runpy's
+re-import warning; import :mod:`repro.tools.trace_report` directly.
+"""
+
+__all__ = ["trace_report"]

@@ -36,7 +36,7 @@ def make_agent(index):
     return InferletProgram(name=f"det{index}", main=main, prefix_hint=PROMPT)
 
 
-def run_stack(seed=7, n_agents=6, qos=False, chunked=False, disagg=False):
+def run_stack(seed=7, n_agents=6, qos=False, chunked=False, disagg=False, tracing=False):
     """Cluster of 2 devices + host KV tier + prefix cache, staggered fleet.
 
     ``qos=True`` layers the multi-tenant QoS service on top (tenant
@@ -48,7 +48,10 @@ def run_stack(seed=7, n_agents=6, qos=False, chunked=False, disagg=False):
     ``disagg=True`` splits the two devices into one prefill and one decode
     shard with KV-page streaming between them (repro.core.transfer);
     token sampling is per-instance, so the emitted text must be
-    bit-identical to the disaggregation-off run.
+    bit-identical to the disaggregation-off run.  ``tracing=True`` turns on
+    the flight recorder (repro.core.trace), which must observe without
+    perturbing: tokens, metrics and virtual timestamps stay bit-identical
+    to the tracing-off run.
     """
     sim = Simulator(seed=seed)
     tenants = (
@@ -72,6 +75,7 @@ def run_stack(seed=7, n_agents=6, qos=False, chunked=False, disagg=False):
             # Small enough that the ~40-token fleet prompts actually slice.
             prefill_chunk_tokens=16,
             max_batch_tokens=24,
+            tracing=tracing,
         ),
     )
     server = PieServer(sim, config=config)
@@ -108,11 +112,17 @@ def run_stack(seed=7, n_agents=6, qos=False, chunked=False, disagg=False):
         record.pop("inferlet_id")
         per_inferlet[instance_id.rsplit("-", 1)[0]] = record
     metrics["per_inferlet"] = per_inferlet
-    return {
+    out = {
         "now": sim.now,
         "results": [(r.status, r.result) for r in results],
         "metrics": metrics,
     }
+    if server.trace is not None:
+        categories = {}
+        for event in server.trace.events():
+            categories[event["cat"]] = categories.get(event["cat"], 0) + 1
+        out["trace_categories"] = categories
+    return out
 
 
 def test_identical_seeded_runs_are_bit_identical():
@@ -244,6 +254,40 @@ def test_disagg_tokens_match_disagg_off():
     assert all(status == "finished" for status, _ in on["results"])
     assert on["results"] == off["results"]
     assert on["metrics"]["disagg_handoffs"] > 0
+
+
+def test_tracing_off_default_is_inert():
+    """tracing=False (the default) constructs no recorder at all: the
+    off-knob path is structurally inert, not merely quiet."""
+    sim = Simulator(seed=1)
+    server = PieServer(sim, num_devices=2)
+    assert server.trace is None
+    assert server.controller.trace is None
+    for shard in server.service().shards:
+        assert shard.scheduler._trace is None
+
+
+def test_tracing_on_does_not_perturb_the_run():
+    """The flight recorder observes without perturbing: tokens, metrics
+    and every virtual timestamp are bit-identical with tracing on vs off,
+    on the full qos+chunked+disagg stack (and the trace is non-trivial)."""
+    on = run_stack(qos=True, chunked=True, disagg=True, tracing=True)
+    off = run_stack(qos=True, chunked=True, disagg=True, tracing=False)
+    assert on["now"] == off["now"]
+    assert on["results"] == off["results"]
+    assert on["metrics"] == off["metrics"]
+    categories = on["trace_categories"]
+    for cat in ("lifecycle", "admission", "queue", "exec", "sched", "swap", "transfer", "counter"):
+        assert categories.get(cat, 0) > 0, cat
+
+
+def test_tracing_on_is_bit_identical_run_to_run():
+    first = run_stack(qos=True, chunked=True, disagg=True, tracing=True)
+    second = run_stack(qos=True, chunked=True, disagg=True, tracing=True)
+    assert first["now"] == second["now"]
+    assert first["results"] == second["results"]
+    assert first["metrics"] == second["metrics"]
+    assert first["trace_categories"] == second["trace_categories"]
 
 
 def test_disagg_composed_with_qos_and_chunked_is_bit_identical():

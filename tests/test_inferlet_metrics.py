@@ -1,0 +1,80 @@
+"""Edge cases of the per-inferlet token-timing metrics.
+
+``note_output`` is the single entry point for output-token accounting; the
+TTFT/TPOT SLO machinery (and the trace_report decode buckets) lean on its
+timestamp semantics, so the multi-token and degenerate cases are pinned
+here explicitly.
+"""
+
+from repro.core.metrics import InferletMetrics
+
+
+def make(launched_at=0.0):
+    metrics = InferletMetrics(inferlet_id="m-1")
+    metrics.launched_at = launched_at
+    return metrics
+
+
+def test_note_output_first_token_flag_and_timestamps():
+    metrics = make()
+    assert metrics.note_output(1.0) is True
+    assert metrics.note_output(2.0) is False
+    assert metrics.output_tokens == 2
+    assert metrics.first_token_at == 1.0
+    assert metrics.last_token_at == 2.0
+
+
+def test_note_output_multi_token_stamps_one_timestamp():
+    """A bulk record (count>1) is one emission instant: the whole batch
+    shares a single timestamp pair, it is not spread over fake steps."""
+    metrics = make()
+    assert metrics.note_output(3.0, count=4) is True
+    assert metrics.output_tokens == 4
+    assert metrics.first_token_at == 3.0
+    assert metrics.last_token_at == 3.0
+    # A later bulk record only advances last_token_at.
+    assert metrics.note_output(5.0, count=2) is False
+    assert metrics.output_tokens == 6
+    assert metrics.first_token_at == 3.0
+    assert metrics.last_token_at == 5.0
+
+
+def test_note_output_nonpositive_count_is_a_noop():
+    metrics = make()
+    assert metrics.note_output(1.0, count=0) is False
+    assert metrics.note_output(1.0, count=-3) is False
+    assert metrics.output_tokens == 0
+    assert metrics.first_token_at is None
+    assert metrics.last_token_at is None
+    assert metrics.ttft is None
+
+
+def test_tpot_single_token_is_none():
+    """One token carries no inter-token interval; 0.0 would trivially
+    satisfy any TPOT SLO."""
+    metrics = make()
+    metrics.note_output(1.0)
+    assert metrics.tpot is None
+
+
+def test_tpot_zero_duration_stream_is_none():
+    """All tokens recorded at one instant (bulk record after generation):
+    no timing information, so no TPOT sample."""
+    metrics = make()
+    metrics.note_output(2.0, count=8)
+    assert metrics.output_tokens == 8
+    assert metrics.tpot is None
+
+
+def test_tpot_mean_over_decode_stream():
+    metrics = make()
+    metrics.note_output(1.0)
+    metrics.note_output(1.5)
+    metrics.note_output(2.0)
+    assert metrics.tpot == (2.0 - 1.0) / 2
+
+
+def test_ttft_measured_from_launch_request():
+    metrics = make(launched_at=0.5)
+    metrics.note_output(2.0, count=3)
+    assert metrics.ttft == 1.5
