@@ -29,4 +29,7 @@ Beyond the paper:
 * ``tracing``              — flight-recorder overhead (wall-clock on vs
   off), non-perturbation, and per-inferlet stall attribution from the
   exported trace.
+* ``load_sweep``           — open-loop goodput vs offered load (seeded
+  Poisson + diurnal trace over a 3-class mix), knee location, and the
+  1k->10k events-per-request control-plane scaling probe.
 """

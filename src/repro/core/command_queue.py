@@ -12,7 +12,7 @@ from __future__ import annotations
 import itertools
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Deque, Dict, FrozenSet, List, Optional
+from typing import Any, Callable, Deque, Dict, FrozenSet, List, Optional
 
 from repro.errors import SchedulingError
 from repro.sim.futures import SimFuture
@@ -173,6 +173,19 @@ class CommandQueue:
         self._barrier_futures: List[tuple] = []  # (remaining_count, future)
         self._issued = 0
         self._completed = 0
+        # Scheduler readiness/pending index hook: called with the signed
+        # pending-count delta after every mutation, so the scheduler can
+        # maintain O(1) aggregates instead of scanning all queues.
+        self._pending_listener: Optional[Callable[["CommandQueue", int], None]] = None
+
+    def set_pending_listener(
+        self, listener: Optional[Callable[["CommandQueue", int], None]]
+    ) -> None:
+        self._pending_listener = listener
+
+    def _pending_changed(self, delta: int) -> None:
+        if delta and self._pending_listener is not None:
+            self._pending_listener(self, delta)
 
     # -- issue / dispatch ----------------------------------------------------
 
@@ -184,6 +197,7 @@ class CommandQueue:
         command.priority = self.priority
         self._pending.append(command)
         self._issued += 1
+        self._pending_changed(1)
 
     def head_run(self, max_commands: int) -> List[Command]:
         """Return the longest batchable prefix of pending commands.
@@ -210,11 +224,16 @@ class CommandQueue:
 
     def pop_commands(self, commands: List[Command]) -> None:
         """Remove dispatched commands (must be a prefix of the queue)."""
+        popped = 0
         for command in commands:
             if not self._pending or self._pending[0] is not command:
+                if popped:
+                    self._pending_changed(-popped)
                 raise SchedulingError("dispatched commands must form a queue prefix")
             self._pending.popleft()
             self._inflight += 1
+            popped += 1
+        self._pending_changed(-popped)
 
     def drop_head(self, command: Command) -> bool:
         """Abandon a pending head command (a forward whose slice failed).
@@ -226,6 +245,7 @@ class CommandQueue:
             return False
         self._pending.popleft()
         self._completed += 1
+        self._pending_changed(-1)
         self._resolve_barriers()
         return True
 
@@ -233,6 +253,7 @@ class CommandQueue:
         """Remove and return every still-pending command (queue teardown)."""
         drained = list(self._pending)
         self._pending.clear()
+        self._pending_changed(-len(drained))
         return drained
 
     def drain_barriers(self) -> List[SimFuture]:

@@ -170,6 +170,9 @@ class SystemMetrics:
     prefill_chunks_dispatched: int = 0
     decode_rows_co_batched: int = 0
     chunk_stall_saved_seconds: float = 0.0
+    # Pending commands abandoned when their queue was removed (owner exit
+    # or termination with work still queued), aggregated across shards.
+    commands_dropped: int = 0
     # Automatic prefix cache (repro.core.prefix_cache): hit/miss counts
     # per matchable forward, prefill tokens skipped via reuse, pages
     # adopted into the index, LRU evictions, demotions to the host tier

@@ -363,6 +363,7 @@ def aggregate_scheduler_stats(stats: Sequence[SchedulerStats]) -> SchedulerStats
         total.batches_dispatched += record.batches_dispatched
         total.commands_dispatched += record.commands_dispatched
         total.reclamation_terminations += record.reclamation_terminations
+        total.commands_dropped += record.commands_dropped
         total.prefill_chunks_dispatched += record.prefill_chunks_dispatched
         total.decode_rows_co_batched += record.decode_rows_co_batched
         total.chunk_stall_saved_seconds += record.chunk_stall_saved_seconds

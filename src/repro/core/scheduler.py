@@ -16,6 +16,7 @@ Four policies are provided, matching the paper's Table 5 comparison:
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
@@ -41,6 +42,10 @@ class SchedulerStats:
     # Inferlets killed by FCFS reclamation on this shard (terminate-last
     # under the tiered-KV policy; every kill destroys computed KV state).
     reclamation_terminations: int = 0
+    # Pending commands abandoned when their queue was removed (owner exited
+    # or was terminated with work still queued).  Under open-loop overload
+    # this is the visible measure of work accepted but never served.
+    commands_dropped: int = 0
     # Chunked prefill (token-budget batching): head slices dispatched,
     # decode rows that shared a batch with at least one slice, and the
     # modeled stall time those decode rows did not spend waiting for the
@@ -103,6 +108,24 @@ class BatchScheduler:
         self.metrics = metrics
         self.stats = SchedulerStats()
         self._queues: Dict[Any, CommandQueue] = {}
+        # Incrementally-maintained queue indexes.  With tens of thousands of
+        # mostly-idle queues, the per-dispatch scans over ``self._queues``
+        # (readiness, owner lookup, pending totals) dominate the control
+        # plane; these structures keep each of those O(live work) instead:
+        #
+        # * ``_queue_order``  — key -> monotonic insertion sequence number,
+        #   so index-backed iteration reproduces ``self._queues`` insertion
+        #   order bit-for-bit (candidate-kind order and longest-waiting
+        #   tie-breaks depend on it).
+        # * ``_owner_queues`` — owner -> {key -> queue}, insertion-ordered.
+        # * ``_ready``        — key -> queue for queues with pending > 0,
+        #   fed by each queue's pending listener.
+        # * ``_pending_total``— sum of pending counts across all queues.
+        self._queue_seq = itertools.count()
+        self._queue_order: Dict[Any, int] = {}
+        self._owner_queues: Dict[str, Dict[Any, CommandQueue]] = {}
+        self._ready: Dict[Any, CommandQueue] = {}
+        self._pending_total = 0
         self._flush_scheduled = False
         self._timeout_flush_armed = False
         # Timer-storm regression guard: number of t_only flush events ever
@@ -153,10 +176,45 @@ class BatchScheduler:
             self._policy_on_submit()
 
     def _dispatchable_queues(self) -> List[CommandQueue]:
-        queues = list(self._queues.values())
+        # Only queues with pending commands can contribute to a batch (every
+        # consumer skips empty head runs), so iterating the readiness index
+        # is O(live work) no matter how many idle queues exist.  Sorting by
+        # insertion sequence reproduces the old full-scan's ``self._queues``
+        # iteration order exactly — candidate-kind ordering and the
+        # longest-waiting first-seen tie-break depend on it.
+        order = self._queue_order
+        queues = sorted(self._ready.values(), key=lambda queue: order[queue.key])
         if self._dispatch_guard is None:
             return queues
         return [queue for queue in queues if not self._dispatch_guard(queue.owner)]
+
+    # -- queue indexes -------------------------------------------------------
+
+    def _index_queue(self, queue: CommandQueue) -> None:
+        self._queue_order[queue.key] = next(self._queue_seq)
+        self._owner_queues.setdefault(queue.owner, {})[queue.key] = queue
+        if queue.pending_count:
+            self._ready[queue.key] = queue
+        self._pending_total += queue.pending_count
+        queue.set_pending_listener(self._on_queue_pending_changed)
+
+    def _unindex_queue(self, queue: CommandQueue) -> None:
+        queue.set_pending_listener(None)
+        self._queue_order.pop(queue.key, None)
+        owner_map = self._owner_queues.get(queue.owner)
+        if owner_map is not None:
+            owner_map.pop(queue.key, None)
+            if not owner_map:
+                del self._owner_queues[queue.owner]
+        self._ready.pop(queue.key, None)
+        self._pending_total -= queue.pending_count
+
+    def _on_queue_pending_changed(self, queue: CommandQueue, delta: int) -> None:
+        self._pending_total += delta
+        if queue.pending_count:
+            self._ready[queue.key] = queue
+        else:
+            self._ready.pop(queue.key, None)
 
     # -- queue management ---------------------------------------------------
 
@@ -165,6 +223,7 @@ class BatchScheduler:
             raise SchedulingError(f"command queue {key!r} already exists")
         queue = CommandQueue(key=key, model=model, owner=owner, priority=priority)
         self._queues[key] = queue
+        self._index_queue(queue)
         return queue
 
     def get_queue(self, key: Any) -> CommandQueue:
@@ -177,12 +236,18 @@ class BatchScheduler:
         queue = self._queues.pop(key, None)
         if queue is None:
             return
+        self._unindex_queue(queue)
         # Commands still pending when their queue disappears (owner exited
         # or was terminated) are dropped, exactly like commands caught in
         # the delivery window: resolving their futures — and any barrier
         # waiting on them — keeps awaiters and bookkeeping hooked on
         # completion from hanging forever.
-        for command in queue.drain_pending():
+        dropped = queue.drain_pending()
+        if dropped:
+            self.stats.commands_dropped += len(dropped)
+            if self.metrics is not None:
+                self.metrics.commands_dropped += len(dropped)
+        for command in dropped:
             if self._trace is not None:
                 self._trace.end(command.trace_span, args={"dropped": True})
                 command.trace_span = None
@@ -202,6 +267,7 @@ class BatchScheduler:
         queue = self._queues.pop(key, None)
         if queue is None:
             raise SchedulingError(f"unknown command queue {key!r}")
+        self._unindex_queue(queue)
         return queue
 
     def adopt_queue(self, queue: CommandQueue) -> None:
@@ -209,12 +275,16 @@ class BatchScheduler:
         if queue.key in self._queues:
             raise SchedulingError(f"command queue {queue.key!r} already exists")
         self._queues[queue.key] = queue
+        self._index_queue(queue)
 
     def set_priority(self, key: Any, priority: int) -> None:
         self.get_queue(key).priority = priority
 
     def queues_for_owner(self, owner: str) -> List[CommandQueue]:
-        return [queue for queue in self._queues.values() if queue.owner == owner]
+        # Owner index lookup; per-owner insertion order matches the old
+        # filtered full scan because queues are only ever appended to both
+        # ``self._queues`` and their owner map.
+        return list(self._owner_queues.get(owner, {}).values())
 
     # -- submission -------------------------------------------------------------
 
@@ -225,7 +295,9 @@ class BatchScheduler:
 
     @property
     def total_pending(self) -> int:
-        return sum(queue.pending_count for queue in self._queues.values())
+        # O(1): maintained by the queues' pending listeners.  Telemetry,
+        # router placement and ``notify_resumed`` all read this per event.
+        return self._pending_total
 
     # -- policy hooks --------------------------------------------------------------
 

@@ -32,13 +32,21 @@ class _Event:
 class EventHandle:
     """Handle returned by :meth:`Simulator.schedule`; allows cancellation."""
 
-    __slots__ = ("_event",)
+    __slots__ = ("_sim", "_event")
 
-    def __init__(self, event: _Event) -> None:
+    def __init__(self, sim: "Simulator", event: _Event) -> None:
+        self._sim = sim
         self._event = event
 
     def cancel(self) -> None:
-        self._event.cancelled = True
+        # Lazy cancellation: the event stays in the heap (removal from the
+        # middle of a binary heap is O(n)) and is skipped when popped.  The
+        # simulator counts live tombstones so it can compact the heap once
+        # they dominate — without that, per-command timers cancelled on the
+        # fast path accumulate without bound under open-loop load.
+        if not self._event.cancelled:
+            self._event.cancelled = True
+            self._sim._note_cancelled()
 
     @property
     def time(self) -> float:
@@ -53,12 +61,19 @@ class Simulator:
     entire experiments are reproducible from a single seed.
     """
 
+    #: Heaps smaller than this are never compacted (the rebuild would cost
+    #: more than the tombstones it removes).
+    _COMPACT_MIN_EVENTS = 256
+
     def __init__(self, *, seed: int = 0) -> None:
         self._now = 0.0
         self._heap: List[_Event] = []
         self._seq = itertools.count()
         self._rng = np.random.default_rng(seed)
         self._processed_events = 0
+        # Live cancelled events still sitting in the heap (lazy cancel).
+        self._cancelled_in_heap = 0
+        self._heap_compactions = 0
 
     # -- clock ------------------------------------------------------------
 
@@ -76,6 +91,42 @@ class Simulator:
     def processed_events(self) -> int:
         return self._processed_events
 
+    @property
+    def heap_size(self) -> int:
+        """Events currently in the heap, cancelled tombstones included."""
+        return len(self._heap)
+
+    @property
+    def cancelled_in_heap(self) -> int:
+        """Cancelled events awaiting lazy removal (bounded by compaction)."""
+        return self._cancelled_in_heap
+
+    @property
+    def heap_compactions(self) -> int:
+        return self._heap_compactions
+
+    def _note_cancelled(self) -> None:
+        self._cancelled_in_heap += 1
+        # Compact once tombstones dominate the heap (~50%): one O(n)
+        # rebuild halves the heap, so the cost amortises to O(1) per
+        # cancellation while peak occupancy stays within 2x of live events.
+        if (
+            len(self._heap) > self._COMPACT_MIN_EVENTS
+            and self._cancelled_in_heap * 2 > len(self._heap)
+        ):
+            self._compact_heap()
+
+    def _compact_heap(self) -> None:
+        self._heap = [event for event in self._heap if not event.cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled_in_heap = 0
+        self._heap_compactions += 1
+
+    def _discard_cancelled(self, event: _Event) -> None:
+        """Bookkeeping for a cancelled event that was popped normally."""
+        if self._cancelled_in_heap > 0:
+            self._cancelled_in_heap -= 1
+
     # -- scheduling primitives ---------------------------------------------
 
     def schedule(self, delay: float, callback: Callable, *args: Any) -> EventHandle:
@@ -91,7 +142,7 @@ class Simulator:
             )
         event = _Event(when, next(self._seq), callback, args)
         heapq.heappush(self._heap, event)
-        return EventHandle(event)
+        return EventHandle(self, event)
 
     def call_soon(self, callback: Callable, *args: Any) -> EventHandle:
         """Run ``callback(*args)`` at the current virtual time (FIFO order)."""
@@ -123,6 +174,9 @@ class Simulator:
         result = self.create_future(name="timeout")
 
         def on_done(fut: SimFuture) -> None:
+            # Cancel the pending timer so short-lived awaitables don't
+            # leave one tombstone per call sitting in the heap.
+            timer.cancel()
             if result.done():
                 return
             if fut.exception() is not None:
@@ -134,8 +188,8 @@ class Simulator:
             if not result.done():
                 result.set_result((False, None))
 
+        timer = self.schedule(delay, on_timeout)
         awaitable.add_done_callback(on_done)
-        self.schedule(delay, on_timeout)
         return result
 
     def gather(self, awaitables: Iterable[SimFuture]) -> SimFuture:
@@ -181,10 +235,15 @@ class Simulator:
         while self._heap:
             event = heapq.heappop(self._heap)
             if event.cancelled:
+                self._discard_cancelled(event)
                 continue
             self._now = event.time
             self._processed_events += 1
             event.callback(*event.args)
+            # A late ``cancel()`` on an already-executed event must be a
+            # no-op (it is no longer in the heap), so mark it directly
+            # without touching the tombstone counter.
+            event.cancelled = True
             return True
         return False
 
@@ -200,6 +259,7 @@ class Simulator:
             next_event = self._heap[0]
             if next_event.cancelled:
                 heapq.heappop(self._heap)
+                self._discard_cancelled(next_event)
                 continue
             if until is not None and next_event.time > until:
                 self._now = until

@@ -1,0 +1,104 @@
+"""Perf gate: compare a fresh ``BENCH_*.json`` artifact against a baseline.
+
+CI runs the load-sweep smoke, which rewrites ``BENCH_load_sweep.json``, and
+then calls this tool with the committed baseline stashed beforehand.  The
+gate fails (exit 1) when any watched metric regresses by more than the
+allowed fraction; improvements and new metrics pass.
+
+Watched metrics are *lower-is-better* counters (``--metric``, repeatable;
+default: ``events_per_request_10k``, the control-plane scaling headline —
+simulator events processed per simulated request at the 10k-request probe).
+A watched metric present in the baseline but missing from the fresh
+artifact also fails: silently dropping the number a gate regresses on is
+itself a regression.
+
+Usage::
+
+    python -m repro.tools.perf_gate baseline.json fresh.json
+    python -m repro.tools.perf_gate baseline.json fresh.json \
+        --metric events_per_request_10k --metric events_per_request_1k \
+        --tolerance 0.10
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Sequence
+
+__all__ = ["DEFAULT_METRICS", "compare", "main"]
+
+#: Lower-is-better metrics gated by default.
+DEFAULT_METRICS = ("events_per_request_10k",)
+
+
+def compare(
+    baseline: Dict,
+    fresh: Dict,
+    metrics: Sequence[str] = DEFAULT_METRICS,
+    tolerance: float = 0.10,
+) -> List[str]:
+    """Return a list of human-readable gate failures (empty = pass)."""
+    failures = []
+    for metric in metrics:
+        if metric not in baseline:
+            # No baseline yet (first commit of a new artifact): nothing to
+            # regress against, the fresh value becomes the next baseline.
+            continue
+        if metric not in fresh:
+            failures.append(f"{metric}: present in baseline but missing from fresh run")
+            continue
+        base = float(baseline[metric])
+        new = float(fresh[metric])
+        if base <= 0:
+            continue
+        growth = (new - base) / base
+        if growth > tolerance:
+            failures.append(
+                f"{metric}: {base:.3f} -> {new:.3f} "
+                f"(+{growth * 100.0:.1f}%, allowed +{tolerance * 100.0:.0f}%)"
+            )
+    return failures
+
+
+def main(argv: Sequence[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", type=Path, help="committed baseline artifact")
+    parser.add_argument("fresh", type=Path, help="freshly generated artifact")
+    parser.add_argument(
+        "--metric",
+        action="append",
+        dest="metrics",
+        help=f"lower-is-better metric to gate (default: {', '.join(DEFAULT_METRICS)})",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.10,
+        help="allowed fractional growth before failing (default 0.10)",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.baseline.exists():
+        print(f"perf-gate: no baseline at {args.baseline}, accepting fresh run")
+        return 0
+    baseline = json.loads(args.baseline.read_text())
+    fresh = json.loads(args.fresh.read_text())
+    metrics = args.metrics or list(DEFAULT_METRICS)
+
+    failures = compare(baseline, fresh, metrics=metrics, tolerance=args.tolerance)
+    for metric in metrics:
+        if metric in baseline and metric in fresh:
+            print(f"perf-gate: {metric}: {baseline[metric]} -> {fresh[metric]}")
+    if failures:
+        for failure in failures:
+            print(f"perf-gate: FAIL {failure}")
+        return 1
+    print("perf-gate: pass")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    sys.exit(main())

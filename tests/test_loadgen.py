@@ -1,0 +1,108 @@
+"""Determinism and sanity of the open-loop load harness.
+
+The load curves are only comparable across commits if the harness is a
+pure function of its seed: the arrival schedule, the class draws, every
+generated token and every derived metric must be bit-identical across
+runs with the same seed, and must actually change with the seed.
+"""
+
+import pytest
+
+from repro.bench.loadgen import (
+    DEFAULT_MIX,
+    DIURNAL_TRACE,
+    build_arrivals,
+    run_open_loop,
+)
+
+
+class TestScheduleDeterminism:
+    def test_same_seed_same_schedule(self):
+        first = build_arrivals(200, 300.0, seed=42)
+        second = build_arrivals(200, 300.0, seed=42)
+        assert [a.time for a in first] == [a.time for a in second]
+        assert [a.workload.name for a in first] == [a.workload.name for a in second]
+
+    def test_different_seed_different_schedule(self):
+        first = build_arrivals(200, 300.0, seed=42)
+        second = build_arrivals(200, 300.0, seed=43)
+        assert [a.time for a in first] != [a.time for a in second]
+
+    def test_trace_mode_deterministic(self):
+        first = build_arrivals(200, 300.0, seed=7, mode="trace")
+        second = build_arrivals(200, 300.0, seed=7, mode="trace")
+        assert [a.time for a in first] == [a.time for a in second]
+
+    def test_times_strictly_ordered_and_positive(self):
+        for mode in ("poisson", "trace"):
+            arrivals = build_arrivals(300, 500.0, seed=3, mode=mode)
+            times = [a.time for a in arrivals]
+            assert all(t > 0 for t in times)
+            assert times == sorted(times)
+
+    def test_mix_weights_respected(self):
+        arrivals = build_arrivals(3000, 300.0, seed=5)
+        total = float(sum(cls.weight for cls in DEFAULT_MIX))
+        for cls in DEFAULT_MIX:
+            share = sum(1 for a in arrivals if a.workload.name == cls.name) / 3000
+            assert share == pytest.approx(cls.weight / total, abs=0.05)
+
+    def test_trace_shape_modulates_rate(self):
+        """Arrivals in a high-multiplier bucket outnumber a low one's by
+        roughly the multiplier ratio (the replay only spans the early
+        buckets at this budget, so compare two it fully covers)."""
+        period = 60.0
+        arrivals = build_arrivals(4000, 400.0, seed=9, mode="trace", trace_period_s=period)
+        bucket_s = period / len(DIURNAL_TRACE)
+        counts = [0] * len(DIURNAL_TRACE)
+        for a in arrivals:
+            counts[int(a.time / bucket_s) % len(DIURNAL_TRACE)] += 1
+        # Bucket 7 runs at 0.80x peak, bucket 2 at 0.28x: ~2.9x more load.
+        assert counts[7] > counts[2] * 1.5
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            build_arrivals(10, 0.0, seed=0)
+        with pytest.raises(ValueError):
+            build_arrivals(10, 100.0, seed=0, mode="bogus")
+        with pytest.raises(ValueError):
+            build_arrivals(10, 100.0, seed=0, mix=())
+
+
+class TestRunDeterminism:
+    def test_same_seed_identical_tokens_and_metrics(self):
+        kwargs = dict(n_requests=60, offered_rate=200.0, seed=21, collect_outputs=True)
+        first = run_open_loop(**kwargs)
+        second = run_open_loop(**kwargs)
+        assert first["outputs"] == second["outputs"]
+        assert first["arrival_times"] == second["arrival_times"]
+        assert first["arrival_classes"] == second["arrival_classes"]
+        for key in (
+            "duration_s",
+            "finished",
+            "goodput_count",
+            "goodput_rate",
+            "total_output_tokens",
+            "processed_events",
+            "events_per_request",
+            "commands_dropped",
+            "per_class",
+        ):
+            assert first[key] == second[key], key
+
+    def test_trace_mode_run_deterministic(self):
+        kwargs = dict(
+            n_requests=60, offered_rate=200.0, seed=4, mode="trace", collect_outputs=True
+        )
+        first = run_open_loop(**kwargs)
+        second = run_open_loop(**kwargs)
+        assert first["outputs"] == second["outputs"]
+        assert first["duration_s"] == second["duration_s"]
+
+    def test_all_requests_complete_and_report(self):
+        row = run_open_loop(n_requests=60, offered_rate=200.0, seed=21)
+        assert row["finished"] == 60
+        assert sum(cls["requests"] for cls in row["per_class"].values()) == 60
+        # Every finished request carried real TTFT/TPOT samples.
+        assert sum(cls["ttft"]["samples"] for cls in row["per_class"].values()) == 60
+        assert sum(cls["tpot"]["samples"] for cls in row["per_class"].values()) == 60

@@ -1,0 +1,57 @@
+"""The CI perf gate: baseline-vs-fresh artifact comparison."""
+
+import json
+
+from repro.tools.perf_gate import compare, main
+
+
+class TestCompare:
+    def test_within_tolerance_passes(self):
+        failures = compare(
+            {"events_per_request_10k": 100.0}, {"events_per_request_10k": 105.0}
+        )
+        assert failures == []
+
+    def test_regression_fails(self):
+        failures = compare(
+            {"events_per_request_10k": 100.0}, {"events_per_request_10k": 115.0}
+        )
+        assert len(failures) == 1
+        assert "events_per_request_10k" in failures[0]
+
+    def test_improvement_passes(self):
+        failures = compare(
+            {"events_per_request_10k": 100.0}, {"events_per_request_10k": 60.0}
+        )
+        assert failures == []
+
+    def test_metric_new_in_fresh_passes(self):
+        assert compare({}, {"events_per_request_10k": 100.0}) == []
+
+    def test_metric_dropped_from_fresh_fails(self):
+        failures = compare({"events_per_request_10k": 100.0}, {})
+        assert len(failures) == 1
+        assert "missing" in failures[0]
+
+    def test_custom_metrics_and_tolerance(self):
+        baseline = {"a": 10.0, "b": 10.0}
+        fresh = {"a": 10.4, "b": 12.0}
+        failures = compare(baseline, fresh, metrics=("a", "b"), tolerance=0.05)
+        assert len(failures) == 1
+        assert failures[0].startswith("b:")
+
+
+class TestCli:
+    def test_pass_and_fail_exit_codes(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        fresh = tmp_path / "fresh.json"
+        baseline.write_text(json.dumps({"events_per_request_10k": 100.0}))
+        fresh.write_text(json.dumps({"events_per_request_10k": 101.0}))
+        assert main([str(baseline), str(fresh)]) == 0
+        fresh.write_text(json.dumps({"events_per_request_10k": 150.0}))
+        assert main([str(baseline), str(fresh)]) == 1
+
+    def test_missing_baseline_accepts_fresh(self, tmp_path):
+        fresh = tmp_path / "fresh.json"
+        fresh.write_text(json.dumps({"events_per_request_10k": 100.0}))
+        assert main([str(tmp_path / "absent.json"), str(fresh)]) == 0

@@ -239,6 +239,84 @@ class TestTasks:
         assert value is None
 
 
+class TestHeapHygiene:
+    """Lazy cancellation must not let the event heap grow without bound."""
+
+    def test_timeout_cancels_timer_when_awaitable_wins(self, sim):
+        """A resolved timeout leaves no live timer behind: the far-future
+        event is tombstoned immediately instead of surviving until its
+        deadline (the leak that bloated the heap one event per command).
+        Only tombstones may remain, and compaction reclaims those."""
+
+        async def main():
+            for _ in range(50):
+                await sim.timeout(sim.sleep(0.001), 1e6)
+
+        sim.run_until_complete(main())
+        live = sim.heap_size - sim.cancelled_in_heap
+        assert live == 0
+        # Without the cancel, run() would have to chew through 50 live
+        # timers spread over the next 1e6 virtual seconds.
+        sim.run()
+        assert sim.now < 1.0
+
+    def test_heap_occupancy_bounded_under_timeout_churn(self, sim):
+        """Sustained fast-path timeouts keep heap occupancy O(live events).
+
+        Every iteration parks one cancelled far-future timer in the heap;
+        compaction must kick in once tombstones dominate, so the heap never
+        holds more than ~2x the live events (plus the compaction floor)."""
+
+        async def main():
+            for _ in range(5000):
+                await sim.timeout(sim.sleep(0.001), 1e6)
+
+        sim.run_until_complete(main())
+        assert sim.heap_compactions > 0
+        assert sim.heap_size < 2 * Simulator._COMPACT_MIN_EVENTS
+
+    def test_compaction_preserves_live_event_order(self, sim):
+        """Compacting mid-run drops only tombstones: live events still fire
+        in (time, sequence) order afterwards."""
+        order = []
+        handles = []
+        for i in range(600):
+            handles.append(sim.schedule(1.0 + i * 1e-3, order.append, i))
+        sim.schedule(2.0, order.append, "tail")
+        # Cancel a majority to force a compaction while events are pending.
+        for handle in handles[:400]:
+            handle.cancel()
+        assert sim.heap_compactions >= 1
+        sim.run()
+        # Survivors fire at 1.4..1.599 s in index order, then the tail at 2 s.
+        assert order == list(range(400, 600)) + ["tail"]
+
+    def test_small_heaps_are_never_compacted(self, sim):
+        handle = sim.schedule(1.0, lambda: None)
+        handle.cancel()
+        assert sim.heap_compactions == 0
+        assert sim.cancelled_in_heap == 1
+        sim.run()
+        assert sim.cancelled_in_heap == 0
+        assert sim.heap_size == 0
+
+    def test_cancel_after_execution_is_noop(self, sim):
+        seen = []
+        handle = sim.schedule(0.1, seen.append, "x")
+        sim.run()
+        assert seen == ["x"]
+        handle.cancel()
+        assert sim.cancelled_in_heap == 0
+
+    def test_double_cancel_counts_once(self, sim):
+        handle = sim.schedule(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert sim.cancelled_in_heap == 1
+        sim.run()
+        assert sim.cancelled_in_heap == 0
+
+
 class TestLatencyModels:
     def test_constant(self, sim):
         model = ConstantLatency(0.02)
