@@ -79,7 +79,7 @@ def test_qos_tenant_accounting():
     assert miner.priority_class == "batch"
     # Every interactive request was admitted, produced a first token within
     # the run, and none were preempted.
-    assert chat.admitted == len(chat.ttft_seconds)
+    assert chat.admitted == chat.ttft.total
     assert chat.preempted_terminations == 0
     assert chat.preempted_swaps == 0
     # All reclamation preemptions were billed to the batch tenant.

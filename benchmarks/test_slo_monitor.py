@@ -1,0 +1,111 @@
+"""Benchmark for the live SLO monitor (observability, beyond the paper).
+
+Runs an open-loop overload burst (2x the load-sweep knee rate, then a
+trickle) with monitoring off and on, asserting the monitor's contracts —
+it changes nothing the simulation can observe, its burn-rate alerts fire
+for the overloaded class and clear once the load drops, and both export
+formats round-trip through ``tools/slo_report`` — and records the
+host-side overhead (CPU time on vs off) in ``BENCH_slo_monitor.json``.
+The exports themselves are left at the repo root (``slo_snapshot.json`` /
+``slo_snapshot.prom``) so CI can archive them next to the perf artifacts.
+"""
+
+import json
+from pathlib import Path
+
+from repro.bench.experiments import slo_monitor as experiment
+
+ROOT = Path(__file__).resolve().parents[1]
+ARTIFACT = ROOT / "BENCH_slo_monitor.json"
+SNAPSHOT_JSON = ROOT / "slo_snapshot.json"
+SNAPSHOT_PROM = ROOT / "slo_snapshot.prom"
+
+
+def test_slo_monitor(run_experiment):
+    result = run_experiment(experiment)
+    rows = {r["config"]: r for r in result.rows}
+    assert set(rows) == {"monitoring_off", "monitoring_on"}
+    raw = result.raw
+
+    # Contract 1: the monitor observes without perturbing.  Virtual time
+    # and every emitted token are identical with monitoring on.
+    assert raw["identical_elapsed"], raw["wall_on_s"]
+    assert raw["identical_tokens"]
+    assert (
+        rows["monitoring_on"]["output_tokens"]
+        == rows["monitoring_off"]["output_tokens"]
+    )
+    assert (
+        rows["monitoring_on"]["goodput_count"]
+        == rows["monitoring_off"]["goodput_count"]
+    )
+
+    # Contract 2: the golden alert sequence.  The overload burst drives the
+    # interactive class's TPOT budget burn over threshold (alerts fire) and
+    # the trickle phase lets it recover (every alert clears by end of run).
+    timeline = raw["alert_timeline"]
+    fires = [e for e in timeline if e["kind"] == "fire"]
+    clears = [e for e in timeline if e["kind"] == "clear"]
+    assert any(e["tenant"] == "interactive" for e in fires)
+    assert len(clears) == len(fires)
+    assert raw["active_alerts"] == []
+    # Fire before clear, and the budget accounting saw real misses.
+    first_fire = min(e["time"] for e in fires)
+    last_clear = max(e["time"] for e in clears)
+    assert first_fire < last_clear
+    assert raw["budgets"]["interactive"]["tpot"]["bad"] > 0
+    assert raw["scrapes"] > 0
+
+    # Contract 3: both export formats round-trip through the report tool.
+    snapshot = raw["snapshot"]
+    SNAPSHOT_JSON.write_text(
+        json.dumps(snapshot, indent=2, sort_keys=True) + "\n"
+    )
+    SNAPSHOT_PROM.write_text(raw["prometheus"])
+
+    from repro.tools.slo_report import build_report, load_snapshot
+
+    json_report = build_report(load_snapshot(str(SNAPSHOT_JSON)))
+    assert len(json_report["alert_timeline"]) == len(fires)
+    assert all(row["cleared_at"] is not None for row in json_report["alert_timeline"])
+    budgets = {
+        (row["tenant"], row["signal"]): row for row in json_report["budgets"]
+    }
+    assert budgets[("interactive", "tpot")]["bad"] > 0
+
+    prom_report = build_report(load_snapshot(str(SNAPSHOT_PROM)))
+    prom_totals = {
+        (row["tenant"], row["signal"], row["kind"]): row["count"]
+        for row in prom_report["alert_timeline"]
+    }
+    fired_by_stream: dict = {}
+    for event in fires:
+        key = (event["tenant"], event["signal"], "fire")
+        fired_by_stream[key] = fired_by_stream.get(key, 0) + 1
+    assert prom_totals == {
+        **fired_by_stream,
+        **{
+            (t, s, "clear"): n
+            for (t, s, _), n in fired_by_stream.items()
+        },
+    }
+    prom_budgets = {
+        (row["tenant"], row["signal"]): row for row in prom_report["budgets"]
+    }
+    for key, row in budgets.items():
+        assert prom_budgets[key]["events"] == row["events"], key
+        assert prom_budgets[key]["bad"] == row["bad"], key
+
+    head = {
+        "wall_off_s": raw["wall_off_s"],
+        "wall_on_s": raw["wall_on_s"],
+        "cpu_off_s": raw["cpu_off_s"],
+        "cpu_on_s": raw["cpu_on_s"],
+        "monitor_overhead_ratio": raw["monitor_overhead_ratio"],
+        "identical_elapsed": raw["identical_elapsed"],
+        "identical_tokens": raw["identical_tokens"],
+        "alerts_fired": raw["alerts_fired"],
+        "alerts_cleared": raw["alerts_cleared"],
+        "scrapes": raw["scrapes"],
+    }
+    ARTIFACT.write_text(json.dumps(head, indent=2, sort_keys=True) + "\n")

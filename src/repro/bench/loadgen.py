@@ -23,7 +23,12 @@ This module provides that harness for the simulated Pie deployment:
   :func:`repro.core.metrics.percentile` helper;
 * control-plane scaling counters — simulator events processed per request,
   event-heap occupancy/compactions, and dropped commands — which is what
-  the CI perf gate regresses against.
+  the CI perf gate regresses against;
+* live-monitor integration (``monitoring=True``): each class is registered
+  as a :class:`~repro.core.qos.TenantSpec` with the SLO engine, requests
+  are tenant-tagged, offered/finished/goodput counters are published into
+  the metric registry, and the result row carries the alert timeline,
+  error budgets and both export formats.
 
 The harness is how the scheduler/simulator index work is *kept* honest:
 tens of thousands of mostly-idle command queues must not make dispatch,
@@ -206,6 +211,17 @@ def _latency_summary(samples: List[float]) -> Dict[str, float]:
     }
 
 
+def _is_good(cls: WorkloadClass, ttft: Optional[float], tpot: Optional[float]) -> bool:
+    """The goodput verdict: finished with TTFT (and TPOT, when sampled)
+    inside the class SLO.  Shared by the final accounting and the live
+    monitor's per-request outcome hook so the two can never disagree."""
+    if ttft is None or ttft * 1e3 > cls.ttft_slo_ms:
+        return False
+    if tpot is not None and tpot * 1e3 > cls.tpot_slo_ms:
+        return False
+    return True
+
+
 def run_open_loop(
     n_requests: int,
     offered_rate: float,
@@ -214,6 +230,7 @@ def run_open_loop(
     mix: Sequence[WorkloadClass] = DEFAULT_MIX,
     num_devices: int = 4,
     trace_period_s: float = 60.0,
+    trace_shape: Sequence[float] = DIURNAL_TRACE,
     collect_outputs: bool = False,
     **setup_kwargs,
 ) -> Dict:
@@ -225,11 +242,13 @@ def run_open_loop(
     point of an open loop.  Returns goodput, per-class latency percentiles
     and the control-plane scaling counters; ``collect_outputs=True`` also
     returns every request's generated token ids in arrival order (the
-    determinism suite compares them across seeds).
+    determinism suite compares them across seeds).  ``trace_shape``
+    replaces the diurnal day shape in ``mode='trace'`` (e.g. a two-phase
+    overload-then-trickle shape for burn-rate alert scenarios).
     """
     arrivals = build_arrivals(
         n_requests, offered_rate, seed, mode=mode, mix=mix,
-        trace_period_s=trace_period_s,
+        trace=trace_shape, trace_period_s=trace_period_s,
     )
     sim, server = make_pie_setup(
         seed=seed, with_tools=False, num_devices=num_devices, **setup_kwargs
@@ -237,17 +256,44 @@ def run_open_loop(
     classes = {cls.name: cls for cls in mix}
     for cls in mix:
         server.register_program(_class_program(cls))
+    monitor = server.monitor
+    if monitor is not None:
+        # Teach the SLO engine the per-class latency targets so its
+        # burn-rate verdicts match the harness's own goodput accounting.
+        from repro.core import TenantSpec
+
+        for cls in mix:
+            monitor.register_slo(
+                TenantSpec(
+                    name=cls.name,
+                    ttft_slo_ms=cls.ttft_slo_ms,
+                    tpot_slo_ms=cls.tpot_slo_ms,
+                )
+            )
 
     async def one(arrival: Arrival):
         await sim.sleep(arrival.time)
-        return await server.run_inferlet(
-            f"load_{arrival.workload.name}",
+        cls = arrival.workload
+        if monitor is not None:
+            monitor.note_offered(cls.name)
+        result = await server.run_inferlet(
+            f"load_{cls.name}",
             args=[
                 str(arrival.index),
-                str(arrival.workload.prompt_tokens),
-                str(arrival.workload.decode_tokens),
+                str(cls.prompt_tokens),
+                str(cls.decode_tokens),
             ],
+            tenant=cls.name,
         )
+        if monitor is not None:
+            record = server.metrics.per_inferlet.get(result.instance_id)
+            good = result.status == "finished" and _is_good(
+                cls,
+                record.ttft if record is not None else None,
+                record.tpot if record is not None else None,
+            )
+            monitor.note_request_outcome(cls.name, good)
+        return result
 
     async def run_all():
         tasks = [sim.create_task(one(arrival)) for arrival in arrivals]
@@ -276,10 +322,7 @@ def run_open_loop(
             per_class_ttft[cls.name].append(ttft)
         if tpot is not None:
             per_class_tpot[cls.name].append(tpot)
-        good = ttft is not None and ttft * 1e3 <= cls.ttft_slo_ms
-        if good and tpot is not None and tpot * 1e3 > cls.tpot_slo_ms:
-            good = False
-        if good:
+        if _is_good(cls, ttft, tpot):
             goodput_count += 1
             per_class_good[cls.name] += 1
 
@@ -315,6 +358,20 @@ def run_open_loop(
             for name in per_class_total
         },
     }
+    if monitor is not None:
+        row["monitor"] = {
+            "scrapes": monitor.scrapes_taken,
+            "alerts_fired": sum(
+                1 for event in monitor.slo.alerts if event.kind == "fire"
+            ),
+            "alerts_cleared": sum(
+                1 for event in monitor.slo.alerts if event.kind == "clear"
+            ),
+            "active_alerts": monitor.slo.active_alerts(),
+            "budgets": monitor.slo.budgets(),
+            "snapshot": monitor.snapshot_document(),
+            "prometheus": monitor.to_prometheus(),
+        }
     if collect_outputs:
         row["arrival_times"] = [arrival.time for arrival in arrivals]
         row["arrival_classes"] = [arrival.workload.name for arrival in arrivals]

@@ -29,6 +29,10 @@ def make_pie_setup(
     tracing: Optional[bool] = None,
     trace_path: Optional[str] = None,
     trace_sample_ms: Optional[float] = None,
+    monitoring: Optional[bool] = None,
+    scrape_interval_ms: Optional[float] = None,
+    slo_target: Optional[float] = None,
+    slo_burn_windows: Optional[Sequence[Sequence[float]]] = None,
 ) -> Tuple[Simulator, PieServer]:
     """Create a simulator + Pie server + standard tool environment.
 
@@ -44,7 +48,9 @@ def make_pie_setup(
     and decode shard roles with overlapped KV-page streaming between them
     (:mod:`repro.core.transfer`).  ``tracing`` / ``trace_path`` /
     ``trace_sample_ms`` enable the control-plane flight recorder
-    (:mod:`repro.core.trace`).
+    (:mod:`repro.core.trace`).  ``monitoring`` / ``scrape_interval_ms`` /
+    ``slo_target`` / ``slo_burn_windows`` enable the live SLO monitoring
+    plane (:mod:`repro.core.monitor`).
     """
     sim = Simulator(seed=seed)
     server = PieServer(
@@ -65,6 +71,10 @@ def make_pie_setup(
         tracing=tracing,
         trace_path=trace_path,
         trace_sample_ms=trace_sample_ms,
+        monitoring=monitoring,
+        scrape_interval_ms=scrape_interval_ms,
+        slo_target=slo_target,
+        slo_burn_windows=slo_burn_windows,
     )
     if with_tools:
         ToolEnvironment(sim, server.external)

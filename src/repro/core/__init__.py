@@ -38,6 +38,9 @@ from repro.core.router import (
 from repro.core.swap import SwapManager
 from repro.core.prefix_cache import PrefixCacheService
 from repro.core.qos import QOS_CLASSES, QosService, TenantSpec
+from repro.core.registry import LogHistogram, MetricRegistry
+from repro.core.slo import AlertEvent, BurnWindow, SloEngine
+from repro.core.monitor import MonitorService
 from repro.core.server import PieServer, PieClient, LaunchResult
 
 __all__ = [
@@ -62,6 +65,12 @@ __all__ = [
     "QOS_CLASSES",
     "QosService",
     "TenantSpec",
+    "LogHistogram",
+    "MetricRegistry",
+    "AlertEvent",
+    "BurnWindow",
+    "SloEngine",
+    "MonitorService",
     "PieServer",
     "PieClient",
     "LaunchResult",

@@ -168,6 +168,32 @@ class ControlLayerConfig:
     # oldest command has waited this long is served FCFS regardless of
     # class (aging).
     qos_aging_ms: float = 200.0
+    # Live SLO monitoring plane (repro.core.monitor): when True the
+    # controller builds a MonitorService — a labeled metric registry, a
+    # per-tenant error-budget / burn-rate alerting engine, and a periodic
+    # scraper on the virtual clock.  Off by default — no registry is
+    # constructed and the serving path carries no monitoring code at all.
+    # When on, every hook is read-only: tokens, metrics and virtual
+    # timestamps are bit-identical to a monitoring=False run.
+    monitoring: bool = False
+    # Scrape period in virtual milliseconds; each tick advances the alert
+    # windows and appends one registry snapshot.  0 disables the scraper
+    # (request-path counters and histograms still accumulate).
+    scrape_interval_ms: float = 50.0
+    # Default availability objective: the fraction of SLO-judged samples
+    # that must meet their latency target.  Tenants can override it via
+    # TenantSpec.slo_target.
+    slo_target: float = 0.95
+    # Multi-window burn-rate alert rules as (long_ms, short_ms, threshold)
+    # triples of virtual time.  An alert fires when the budget burn rate
+    # exceeds the threshold in BOTH windows and clears when the short
+    # window drops back below it.  Simulated runs compress hours of
+    # traffic into seconds, so the defaults are seconds-scale rather than
+    # the hour-scale windows of the SRE handbook.
+    slo_burn_windows: Tuple[Tuple[float, float, float], ...] = (
+        (2_000.0, 500.0, 6.0),
+        (10_000.0, 2_000.0, 3.0),
+    )
 
 
 @dataclass(frozen=True)
@@ -257,6 +283,24 @@ class PieConfig:
                 raise ReproError(
                     f"ControlLayerConfig.tenants must hold TenantSpec records, got {spec!r}"
                 )
+        if self.control.scrape_interval_ms < 0:
+            raise ReproError("scrape_interval_ms must be non-negative (0 = no scraper)")
+        if not 0.0 < self.control.slo_target < 1.0:
+            raise ReproError("slo_target must be in (0, 1)")
+        if not self.control.slo_burn_windows:
+            raise ReproError("slo_burn_windows must not be empty")
+        for window in self.control.slo_burn_windows:
+            if len(window) != 3:
+                raise ReproError(
+                    f"each burn window is (long_ms, short_ms, threshold), got {window!r}"
+                )
+            long_ms, short_ms, threshold = window
+            if not long_ms > short_ms > 0:
+                raise ReproError(
+                    f"burn window needs long_ms > short_ms > 0, got {window!r}"
+                )
+            if threshold <= 0:
+                raise ReproError(f"burn threshold must be positive, got {window!r}")
         names = [spec.name for spec in self.control.tenants]
         if len(names) != len(set(names)):
             raise ReproError("tenant names must be unique")

@@ -25,12 +25,13 @@ from repro.core.handles import Embed, KvPage, Queue
 from repro.core.handlers import ApiHandlers
 from repro.core.inferlet import InferletInstance
 from repro.core.messaging import ExternalServices, MessageBus
-from repro.core.metrics import SystemMetrics
+from repro.core.metrics import SystemMetrics, TenantMetrics
+from repro.core.monitor import MonitorService
 from repro.core.prefix_cache import PrefixCacheService
 from repro.core.qos import QosService
 from repro.core.resources import ResourceManager
 from repro.core.router import ClusterSchedulerStats, DeviceShard, Router
-from repro.core.scheduler import BatchScheduler
+from repro.core.scheduler import BatchScheduler, SchedulerStats
 from repro.core.swap import SwapManager
 from repro.core.trace import TraceRecorder
 from repro.core.transfer import KvTransferScheduler
@@ -173,6 +174,17 @@ class Controller:
                 aging_ms=config.control.qos_aging_ms,
                 trace=self.trace,
             )
+        # The live monitoring plane (repro.core.monitor): labeled metric
+        # registry, SLO burn-rate alerting, and a virtual-clock scraper.
+        # None when the knob is off — same structural-inertness contract
+        # as the trace/qos hooks above.
+        self.monitor: Optional[MonitorService] = None
+        if config.control.monitoring:
+            self.monitor = MonitorService(
+                sim, config.control, self.metrics, trace=self.trace
+            )
+            for spec in config.control.tenants:
+                self.monitor.register_slo(spec)
         self._services: Dict[str, ModelService] = {}
         self._instances: Dict[str, InferletInstance] = {}
         self._queue_ids = itertools.count(1)
@@ -181,6 +193,8 @@ class Controller:
             self._services[name] = self._build_service(registry.get(name))
         if self.trace is not None:
             self._install_telemetry_sampler()
+        if self.monitor is not None:
+            self._install_monitor_collector()
 
     def _build_service(self, entry: ModelEntry) -> ModelService:
         cost_model = KernelCostModel(entry.config)
@@ -387,6 +401,96 @@ class Controller:
 
         trace.install_sampler(sample, lambda: self.concurrent_inferlets > 0)
 
+    def _install_monitor_collector(self) -> None:
+        """Wire the monitor's per-scrape gauge collection.
+
+        Numeric fields are discovered once at install time from probe
+        instances (not per tick via ``asdict``, which would deep-copy the
+        histograms at every scrape).  Each tick publishes the current
+        SystemMetrics / per-tenant / per-shard counters plus live
+        occupancy readings into the registry as gauges; every read is a
+        pure inspection of simulator state, so the scrape timer changes
+        no virtual timestamp anywhere."""
+        monitor = self.monitor
+        gpu = self.config.gpu
+
+        def numeric_fields(probe) -> List[str]:
+            return [
+                name
+                for name in vars(probe)
+                if isinstance(getattr(probe, name), (int, float))
+                and not isinstance(getattr(probe, name), bool)
+            ]
+
+        system_fields = numeric_fields(self.metrics)
+        tenant_fields = numeric_fields(TenantMetrics(tenant="_probe"))
+        shard_fields = numeric_fields(SchedulerStats())
+        system_gauges = {
+            name: monitor.registry.gauge(
+                f"pie_system_{name}", f"SystemMetrics.{name}"
+            )
+            for name in system_fields
+        }
+        tenant_gauges = {
+            name: monitor.registry.gauge(
+                f"pie_tenant_{name}",
+                f"TenantMetrics.{name}",
+                labelnames=("tenant",),
+            )
+            for name in tenant_fields
+        }
+        shard_gauges = {
+            name: monitor.registry.gauge(
+                f"pie_shard_{name}",
+                f"SchedulerStats.{name}",
+                labelnames=("model", "shard"),
+            )
+            for name in shard_fields
+        }
+        occupancy = {
+            name: monitor.registry.gauge(
+                f"pie_shard_{name}",
+                help_,
+                labelnames=("model", "shard"),
+            )
+            for name, help_ in (
+                ("queue_depth", "Pending commands in the shard scheduler"),
+                ("kv_occupancy", "Fraction of GPU KV pages in use"),
+                ("embed_occupancy", "Fraction of embed slots in use"),
+                ("busy_seconds", "Cumulative device busy time"),
+            )
+        }
+
+        def collect() -> None:
+            for name in system_fields:
+                system_gauges[name].labels().set(getattr(self.metrics, name))
+            for tenant, record in self.metrics.tenants.items():
+                for name in tenant_fields:
+                    tenant_gauges[name].labels(tenant=tenant).set(
+                        getattr(record, name)
+                    )
+            for model, service in self._services.items():
+                for shard in service.shards:
+                    labels = {"model": model, "shard": str(shard.index)}
+                    for name in shard_fields:
+                        shard_gauges[name].labels(**labels).set(
+                            getattr(shard.scheduler.stats, name)
+                        )
+                    occupancy["queue_depth"].labels(**labels).set(
+                        shard.scheduler.total_pending
+                    )
+                    occupancy["kv_occupancy"].labels(**labels).set(
+                        1.0 - shard.resources.kv_pages_free / gpu.num_kv_pages
+                    )
+                    occupancy["embed_occupancy"].labels(**labels).set(
+                        1.0 - shard.resources.embeds_free / gpu.num_embed_slots
+                    )
+                    occupancy["busy_seconds"].labels(**labels).set(
+                        shard.device.stats.busy_seconds
+                    )
+
+        monitor.install_collector(collect, lambda: self.concurrent_inferlets > 0)
+
     # -- services & models ----------------------------------------------------
 
     def service(self, model: str) -> ModelService:
@@ -414,6 +518,8 @@ class Controller:
         self.metrics.register(instance.metrics)
         if self.trace is not None:
             self.trace.poke_sampler()
+        if self.monitor is not None:
+            self.monitor.poke()
         for service in self._services.values():
             prefix_hint = instance.program.prefix_hint
             prefix_tokens = None
@@ -501,6 +607,10 @@ class Controller:
         self.metrics.total_output_tokens += count
         if self.qos is not None:
             self.qos.note_output(instance, now, count, first)
+        if self.monitor is not None and first:
+            self.monitor.note_first_token(
+                instance, now - instance.metrics.launched_at
+            )
 
     # -- command queues -------------------------------------------------------------------
 

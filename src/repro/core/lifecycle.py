@@ -184,6 +184,8 @@ class InferletLifecycleManager:
             # any admission slot the instance was holding.
             if self.controller.qos is not None:
                 self.controller.qos.note_finished(instance)
+            if self.controller.monitor is not None:
+                self.controller.monitor.note_finished(instance)
             self._fail_ready(instance, ready)
             return
         try:
@@ -193,6 +195,8 @@ class InferletLifecycleManager:
             self.controller.metrics.inferlets_failed += 1
             if self.controller.qos is not None:
                 self.controller.qos.note_finished(instance)
+            if self.controller.monitor is not None:
+                self.controller.monitor.note_finished(instance)
             trace = self.controller.trace
             if trace is not None:
                 trace.end(getattr(instance, "_trace_launch", None), args={"failed": True})
@@ -204,7 +208,7 @@ class InferletLifecycleManager:
         self.controller.register_inferlet(instance)
         instance.metrics.status = "running"
         instance.metrics.started_at = self.sim.now
-        self.controller.metrics.launch_latencies.append(self.sim.now - instance.created_at)
+        self.controller.metrics.launch_latency.observe(self.sim.now - instance.created_at)
         if self.controller.trace is not None:
             self.controller.trace.end(getattr(instance, "_trace_launch", None))
         ctx = InferletContext(
@@ -243,6 +247,8 @@ class InferletLifecycleManager:
                 # Free the tenant's concurrency slot and pump its admission
                 # queue (idempotent; covers finish, failure and termination).
                 self.controller.qos.note_finished(instance)
+            if self.controller.monitor is not None:
+                self.controller.monitor.note_finished(instance)
             if self.controller.trace is not None:
                 self.controller.trace.end(
                     getattr(instance, "_trace_lifecycle", None),

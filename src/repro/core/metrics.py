@@ -12,6 +12,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.core.registry import LogHistogram, latency_histogram
+
 
 @dataclass
 class InferletMetrics:
@@ -123,14 +125,42 @@ class TenantMetrics:
     dispatched_commands: int = 0
     virtual_tokens: float = 0.0
     output_tokens: int = 0
-    ttft_seconds: List[float] = field(default_factory=list)
-    tpot_seconds: List[float] = field(default_factory=list)
+    # Latency samples live in bounded log-bucketed histograms (memory was
+    # O(requests) as lists at the 10k-request load-harness scale); the
+    # met/missed counters record the exact SLO verdict at sample time, so
+    # attainment needs no sample list either.
+    ttft: LogHistogram = field(default_factory=latency_histogram)
+    tpot: LogHistogram = field(default_factory=latency_histogram)
+    ttft_met: int = 0
+    ttft_missed: int = 0
+    tpot_met: int = 0
+    tpot_missed: int = 0
+
+    def observe_ttft(self, seconds: float, slo_s: Optional[float] = None) -> None:
+        """Record one time-to-first-token sample, judging it against
+        ``slo_s`` (None = no SLO verdict, histogram only)."""
+        self.ttft.observe(seconds)
+        if slo_s is not None:
+            if seconds <= slo_s:
+                self.ttft_met += 1
+            else:
+                self.ttft_missed += 1
+
+    def observe_tpot(self, seconds: float, slo_s: Optional[float] = None) -> None:
+        """Record one time-per-output-token sample, judging it against
+        ``slo_s`` (None = no SLO verdict, histogram only)."""
+        self.tpot.observe(seconds)
+        if slo_s is not None:
+            if seconds <= slo_s:
+                self.tpot_met += 1
+            else:
+                self.tpot_missed += 1
 
     def ttft_percentile(self, p: float) -> float:
-        return percentile(self.ttft_seconds, p)
+        return self.ttft.percentile(p)
 
     def tpot_percentile(self, p: float) -> float:
-        return percentile(self.tpot_seconds, p)
+        return self.tpot.percentile(p)
 
 
 @dataclass
@@ -142,7 +172,8 @@ class SystemMetrics:
     inferlets_terminated: int = 0
     inferlets_failed: int = 0
     total_output_tokens: int = 0
-    launch_latencies: List[float] = field(default_factory=list)
+    # Launch-latency distribution (bounded; was an O(launches) list).
+    launch_latency: LogHistogram = field(default_factory=latency_histogram)
     per_inferlet: Dict[str, InferletMetrics] = field(default_factory=dict)
     # Cluster-level accounting (router placements and KV-page migrations).
     placements_by_device: Dict[str, int] = field(default_factory=dict)
@@ -242,6 +273,4 @@ class SystemMetrics:
         return {"control": control / tokens, "inference": inference / tokens}
 
     def mean_launch_latency(self) -> float:
-        if not self.launch_latencies:
-            return 0.0
-        return sum(self.launch_latencies) / len(self.launch_latencies)
+        return self.launch_latency.mean

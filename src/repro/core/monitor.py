@@ -1,0 +1,247 @@
+"""Live monitoring plane: virtual-clock scraper, SLO engine, exporters.
+
+:class:`MonitorService` is the glue between the serving loop and the
+observability surfaces this repo grew elsewhere:
+
+* a :class:`~repro.core.registry.MetricRegistry` of labeled counters,
+  gauges and log-bucketed histograms that the controller's collector and
+  the load harness publish into;
+* an :class:`~repro.core.slo.SloEngine` judging per-tenant TTFT/TPOT
+  against :class:`~repro.core.qos.TenantSpec` targets and firing
+  multi-window burn-rate alerts;
+* a periodic *scraper* on the virtual clock that advances the alert
+  windows and appends bounded registry snapshots, built on the exact
+  poke/re-arm timer pattern of the trace recorder's telemetry sampler —
+  the timer only re-arms while ``active_fn()`` reports in-flight work, so
+  the event queue stays drainable and the simulation never runs longer
+  because monitoring is on.
+
+The whole plane is off by default (``ControlLayerConfig.monitoring``);
+when off, no ``MonitorService`` is constructed and every call site guards
+with ``if monitor is not None`` — the structural-inertness contract shared
+with the QoS/tracing/chunking knobs.  When on, every hook only *reads*
+serving state and writes to monitor-private buffers, so tokens, metrics
+and virtual timestamps stay bit-identical to a monitor-off run (asserted
+in ``tests/test_determinism.py``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional
+
+from repro.core.registry import (
+    CounterFamily,
+    GaugeFamily,
+    HistogramFamily,
+    MetricRegistry,
+)
+from repro.core.slo import BurnWindow, SloEngine
+from repro.core.qos import TenantSpec
+
+__all__ = ["MonitorService"]
+
+#: Retention cap for time-series snapshots (one per scrape tick).
+MAX_SNAPSHOTS = 20_000
+
+
+class MonitorService:
+    """Owns the metric registry, the SLO engine, and the scrape timer."""
+
+    def __init__(self, sim, control, metrics, trace=None) -> None:
+        self.sim = sim
+        self.control = control
+        self.metrics = metrics
+        self.trace = trace
+        self.registry = MetricRegistry()
+        windows = tuple(
+            BurnWindow(long_ms / 1e3, short_ms / 1e3, threshold)
+            for long_ms, short_ms, threshold in control.slo_burn_windows
+        )
+        self.slo = SloEngine(
+            windows,
+            default_target=control.slo_target,
+            trace=trace,
+        )
+        self.scrape_seconds = control.scrape_interval_ms / 1e3
+        self.scrapes_taken = 0
+        #: Bounded time-series: one scalar snapshot of the registry per tick.
+        self.snapshots: Deque[dict] = deque(maxlen=MAX_SNAPSHOTS)
+        self._collect_fn: Optional[Callable[[], None]] = None
+        self._active_fn: Optional[Callable[[], bool]] = None
+        self._armed = False
+
+        # Request-path families, created eagerly so exports are stable even
+        # before the first observation.
+        self._ttft: HistogramFamily = self.registry.histogram(
+            "pie_ttft_seconds",
+            "Time to first token per tenant",
+            labelnames=("tenant",),
+        )
+        self._tpot: HistogramFamily = self.registry.histogram(
+            "pie_tpot_seconds",
+            "Time per output token per tenant",
+            labelnames=("tenant",),
+        )
+        self._requests: CounterFamily = self.registry.counter(
+            "pie_requests_total",
+            "Finished inferlets by tenant and terminal status",
+            labelnames=("tenant", "status"),
+        )
+        self._slo_events: CounterFamily = self.registry.counter(
+            "pie_slo_events_total",
+            "SLO-judged latency samples by tenant, signal, and outcome",
+            labelnames=("tenant", "signal", "outcome"),
+        )
+        self._alerts_total: CounterFamily = self.registry.counter(
+            "pie_slo_alerts_total",
+            "Burn-rate alert transitions by tenant, signal, and kind",
+            labelnames=("tenant", "signal", "kind"),
+        )
+        self._alert_active: GaugeFamily = self.registry.gauge(
+            "pie_slo_alert_active",
+            "1 while a burn-rate alert window is firing",
+            labelnames=("tenant", "signal", "window"),
+        )
+        self._budget_remaining: GaugeFamily = self.registry.gauge(
+            "pie_slo_budget_remaining",
+            "Fraction of the cumulative error budget left",
+            labelnames=("tenant", "signal"),
+        )
+
+    # -- SLO spec registry --------------------------------------------------
+
+    def register_slo(self, spec: TenantSpec) -> None:
+        """Register the spec the SLO engine judges this tenant against."""
+        self.slo.register(spec)
+
+    # -- serving-path hooks (all read-only w.r.t. simulation state) ---------
+
+    def note_first_token(self, instance, ttft_seconds: float) -> None:
+        tenant = instance.tenant
+        self._ttft.labels(tenant=tenant).observe(ttft_seconds)
+        met = self.slo.observe_ttft(tenant, ttft_seconds)
+        outcome = "met" if met else "missed"
+        self._slo_events.labels(tenant=tenant, signal="ttft", outcome=outcome).inc()
+
+    def note_finished(self, instance) -> None:
+        tenant = instance.tenant
+        status = instance.metrics.status
+        self._requests.labels(tenant=tenant, status=status).inc()
+        if status != "finished":
+            return
+        tpot = instance.metrics.tpot
+        if tpot is None:
+            return
+        self._tpot.labels(tenant=tenant).observe(tpot)
+        met = self.slo.observe_tpot(tenant, tpot)
+        outcome = "met" if met else "missed"
+        self._slo_events.labels(tenant=tenant, signal="tpot", outcome=outcome).inc()
+
+    # -- load-harness hooks -------------------------------------------------
+
+    def note_offered(self, workload: str) -> None:
+        self.registry.counter(
+            "pie_loadgen_offered_total",
+            "Requests injected by the open-loop load harness",
+            labelnames=("workload",),
+        ).labels(workload=workload).inc()
+
+    def note_request_outcome(self, workload: str, good: bool) -> None:
+        self.registry.counter(
+            "pie_loadgen_finished_total",
+            "Load-harness requests that completed",
+            labelnames=("workload",),
+        ).labels(workload=workload).inc()
+        if good:
+            self.registry.counter(
+                "pie_loadgen_good_total",
+                "Load-harness requests that met every SLO (goodput)",
+                labelnames=("workload",),
+            ).labels(workload=workload).inc()
+
+    # -- virtual-clock scraper ----------------------------------------------
+
+    def install_collector(
+        self,
+        collect_fn: Callable[[], None],
+        active_fn: Callable[[], bool],
+    ) -> None:
+        """Install the per-tick gauge collector and the re-arm gate.
+
+        ``collect_fn()`` publishes current serving-state gauges into the
+        registry; it must be read-only with respect to simulation state.
+        ``active_fn()`` gates re-arming exactly like the trace sampler:
+        once it reports False the timer stops (keeping the event queue
+        drainable) and :meth:`poke` restarts it when activity resumes.
+        """
+        self._collect_fn = collect_fn
+        self._active_fn = active_fn
+
+    def poke(self) -> None:
+        """(Re)arm the scrape timer; no-op if already armed or disabled."""
+        if self.scrape_seconds <= 0:
+            return
+        if self._armed:
+            return
+        self._armed = True
+        self.sim.schedule(self.scrape_seconds, self._tick)
+
+    def _tick(self) -> None:
+        self._armed = False
+        self.scrapes_taken += 1
+        now = self.sim.now
+        if self._collect_fn is not None:
+            self._collect_fn()
+        for event in self.slo.tick(now):
+            self._alerts_total.labels(
+                tenant=event.tenant, signal=event.signal, kind=event.kind
+            ).inc()
+            self._alert_active.labels(
+                tenant=event.tenant,
+                signal=event.signal,
+                window=str(event.window),
+            ).set(1.0 if event.kind == "fire" else 0.0)
+        for tenant, signals in self.slo.budgets().items():
+            for signal, budget in signals.items():
+                self._budget_remaining.labels(tenant=tenant, signal=signal).set(
+                    budget["budget_remaining"]
+                )
+        self.snapshots.append({"t": now, "values": self.registry.scalar_snapshot()})
+        if self._active_fn is not None and self._active_fn():
+            self.poke()
+
+    # -- exporters ----------------------------------------------------------
+
+    def merge_registry(self, other: MetricRegistry) -> None:
+        """Fold another shard's registry into this one (counters/histograms
+        add, gauges take the other's value)."""
+        self.registry.merge(other)
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition of the full registry."""
+        return self.registry.to_prometheus()
+
+    def snapshot_document(self) -> dict:
+        """JSON-ready document: registry, SLO state, and the time series."""
+        from dataclasses import asdict
+
+        return {
+            "clock": "virtual_seconds",
+            "now": self.sim.now,
+            "scrape_interval_ms": self.control.scrape_interval_ms,
+            "scrapes": self.scrapes_taken,
+            "slo": {
+                "default_target": self.slo.default_target,
+                "burn_windows": [
+                    {"long_s": w.long_s, "short_s": w.short_s, "threshold": w.threshold}
+                    for w in self.slo.windows
+                ],
+                "targets": {t: self.slo.target_for(t) for t in self.slo.tenants()},
+                "alerts": [asdict(event) for event in self.slo.alerts],
+                "active_alerts": self.slo.active_alerts(),
+                "budgets": self.slo.budgets(),
+            },
+            "series": list(self.snapshots),
+            "metrics": self.registry.to_dict(),
+        }

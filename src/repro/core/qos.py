@@ -85,6 +85,9 @@ class TenantSpec:
     ttft_slo_ms: Optional[float] = None
     tpot_slo_ms: Optional[float] = None
     weight: Optional[float] = None
+    # Availability objective the live SLO engine (repro.core.slo) burns
+    # error budget against; None falls back to ControlLayerConfig.slo_target.
+    slo_target: Optional[float] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -101,6 +104,8 @@ class TenantSpec:
             raise ReproError("max_concurrent/max_queued must be non-negative")
         if self.weight is not None and self.weight <= 0:
             raise ReproError("weight must be positive")
+        if self.slo_target is not None and not 0.0 < self.slo_target < 1.0:
+            raise ReproError("slo_target must be in (0, 1)")
 
     @property
     def rank(self) -> int:
@@ -392,7 +397,7 @@ class QosService:
             state.metrics.terminated += 1
         tpot = metrics.tpot
         if tpot is not None:
-            state.metrics.tpot_seconds.append(tpot)
+            state.metrics.observe_tpot(tpot, slo_s=state.spec.tpot_slo_s)
         self._pump(state)
 
     # -- SLO deadlines and slack --------------------------------------------
@@ -587,17 +592,20 @@ class QosService:
             return
         state.metrics.output_tokens += count
         if first:
-            state.metrics.ttft_seconds.append(now - instance.metrics.launched_at)
+            state.metrics.observe_ttft(
+                now - instance.metrics.launched_at, slo_s=state.spec.ttft_slo_s
+            )
 
     # -- reporting -----------------------------------------------------------
 
     def slo_attainment(self, tenant: str) -> float:
         """Fraction of the tenant's first tokens that met the TTFT target
         and decode streams that met the TPOT target.  Read-only: raises
-        for unknown tenants."""
-        spec = self.tenant_spec(tenant)
+        for unknown tenants.  Exact: each sample's verdict was recorded
+        against the spec at observation time, not re-derived from the
+        bucketed histograms."""
+        self.tenant_spec(tenant)
         record = self.metrics.tenants[tenant]
-        met = sum(1 for t in record.ttft_seconds if t <= spec.ttft_slo_s)
-        met += sum(1 for t in record.tpot_seconds if t <= spec.tpot_slo_s)
-        total = len(record.ttft_seconds) + len(record.tpot_seconds)
+        met = record.ttft_met + record.tpot_met
+        total = met + record.ttft_missed + record.tpot_missed
         return met / total if total else 1.0

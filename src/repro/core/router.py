@@ -372,7 +372,7 @@ def aggregate_scheduler_stats(stats: Sequence[SchedulerStats]) -> SchedulerStats
         total.forward_tokens_dispatched += record.forward_tokens_dispatched
         for kind, count in record.batches_by_kind.items():
             total.batches_by_kind[kind] = total.batches_by_kind.get(kind, 0) + count
-        total.batch_sizes.extend(record.batch_sizes)
+        total.batch_sizes.merge(record.batch_sizes)
     return total
 
 

@@ -25,6 +25,7 @@ from repro.core.batching import CandidateBatch, form_candidate_batches, select_l
 from repro.core.command_queue import Command, CommandQueue
 from repro.core.config import ControlLayerConfig, SchedulerConfig
 from repro.core.handlers import ApiHandlers
+from repro.core.registry import LogHistogram, size_histogram
 from repro.gpu.config import GpuConfig
 from repro.gpu.device import SimDevice
 from repro.sim.latency import milliseconds
@@ -38,7 +39,9 @@ class SchedulerStats:
     batches_dispatched: int = 0
     commands_dispatched: int = 0
     batches_by_kind: Dict[str, int] = field(default_factory=dict)
-    batch_sizes: List[int] = field(default_factory=list)
+    # Batch-size distribution in a bounded log-bucketed histogram (was an
+    # O(batches) list); ``sum``/``total`` keep the mean exact.
+    batch_sizes: LogHistogram = field(default_factory=size_histogram)
     # Inferlets killed by FCFS reclamation on this shard (terminate-last
     # under the tiered-KV policy; every kill destroys computed KV state).
     reclamation_terminations: int = 0
@@ -68,7 +71,7 @@ class SchedulerStats:
         self.batches_dispatched += 1
         self.commands_dispatched += len(batch.commands)
         self.batches_by_kind[batch.kind] = self.batches_by_kind.get(batch.kind, 0) + 1
-        self.batch_sizes.append(len(batch.commands))
+        self.batch_sizes.observe(len(batch.commands))
         self.decode_rows_dispatched += batch.decode_rows
         self.prefill_rows_dispatched += batch.prefill_rows
         if batch.kind == "forward":
@@ -76,9 +79,7 @@ class SchedulerStats:
 
     @property
     def mean_batch_size(self) -> float:
-        if not self.batch_sizes:
-            return 0.0
-        return sum(self.batch_sizes) / len(self.batch_sizes)
+        return self.batch_sizes.mean
 
 
 class BatchScheduler:

@@ -10,6 +10,7 @@ client, exactly as the paper does.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Sequence
 
@@ -62,6 +63,10 @@ class PieServer:
         tracing: Optional[bool] = None,
         trace_path: Optional[str] = None,
         trace_sample_ms: Optional[float] = None,
+        monitoring: Optional[bool] = None,
+        scrape_interval_ms: Optional[float] = None,
+        slo_target: Optional[float] = None,
+        slo_burn_windows: Optional[Sequence[Sequence[float]]] = None,
     ) -> None:
         self.sim = sim
         config = config or PieConfig()
@@ -132,6 +137,31 @@ class PieServer:
             if trace_sample_ms is not None:
                 overrides["trace_sample_ms"] = trace_sample_ms
             config = replace(config, control=replace(config.control, **overrides))
+        if (
+            monitoring is not None
+            or scrape_interval_ms is not None
+            or slo_target is not None
+            or slo_burn_windows is not None
+        ):
+            # Combined replace: tuning any monitor knob implies monitoring.
+            overrides = {}
+            if scrape_interval_ms is not None:
+                overrides["scrape_interval_ms"] = scrape_interval_ms
+                if monitoring is None:
+                    monitoring = True
+            if slo_target is not None:
+                overrides["slo_target"] = slo_target
+                if monitoring is None:
+                    monitoring = True
+            if slo_burn_windows is not None:
+                overrides["slo_burn_windows"] = tuple(
+                    tuple(window) for window in slo_burn_windows
+                )
+                if monitoring is None:
+                    monitoring = True
+            if monitoring is not None:
+                overrides["monitoring"] = monitoring
+            config = replace(config, control=replace(config.control, **overrides))
         self.config = config
         registry = ModelRegistry(models or ["llama-sim-1b"])
         self.registry = registry
@@ -167,6 +197,43 @@ class PieServer:
         if not target:
             raise ClientError("no trace path: pass export_trace(path=...) or set trace_path")
         return self.controller.trace.export(target)
+
+    @property
+    def monitor(self):
+        """The live monitoring plane, or None when ``monitoring`` is off."""
+        return self.controller.monitor
+
+    def prometheus_metrics(self) -> str:
+        """Prometheus text exposition of the monitor's metric registry."""
+        if self.controller.monitor is None:
+            raise ClientError(
+                "monitoring is off: construct the server with monitoring=True"
+            )
+        return self.controller.monitor.to_prometheus()
+
+    def export_metrics(self, path: Optional[str] = None):
+        """Snapshot the monitor's registry and SLO state.
+
+        A ``.prom``/``.txt`` suffix selects the Prometheus text exposition
+        format; anything else (or no path) produces the JSON snapshot
+        document, which is also returned.
+        """
+        if self.controller.monitor is None:
+            raise ClientError(
+                "monitoring is off: construct the server with monitoring=True"
+            )
+        monitor = self.controller.monitor
+        document = monitor.snapshot_document()
+        if path is not None:
+            target = str(path)
+            if target.endswith((".prom", ".txt")):
+                with open(target, "w", encoding="utf-8") as handle:
+                    handle.write(monitor.to_prometheus())
+            else:
+                with open(target, "w", encoding="utf-8") as handle:
+                    json.dump(document, handle, indent=2, sort_keys=True)
+                    handle.write("\n")
+        return document
 
     @property
     def num_devices(self) -> int:

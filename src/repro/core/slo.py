@@ -1,0 +1,316 @@
+"""Per-tenant SLO error budgets and multi-window burn-rate alerting.
+
+The QoS subsystem *enforces* SLOs inside the scheduler; this module
+*observes* them the way a production on-call would: each tenant's TTFT and
+TPOT streams are judged good/bad against the :class:`~repro.core.qos.TenantSpec`
+targets, the good/bad counts accumulate into an error budget for an
+availability objective (``slo_target``, e.g. 0.95 = 5% of requests may
+miss), and alerts fire on the *burn rate* — how many times faster than
+sustainable the budget is being consumed:
+
+    ``burn = (bad / total) / (1 - slo_target)``
+
+A burn of 1.0 spends exactly the budget over the objective window; a burn
+of 6 exhausts it six times too fast.  Following the multi-window pattern
+from the SRE literature, each alert rule pairs a *long* window (evidence
+the problem is real) with a *short* window (evidence it is still
+happening): the alert fires when both windows burn above the threshold and
+clears when the short window drops back below it — so a transient spike
+neither fires (long window still clean) nor keeps a resolved incident
+alive (short window recovers quickly).
+
+Window state advances at scrape ticks (:meth:`SloEngine.tick`, driven by
+the monitor's virtual-clock scraper): observations land in the current
+bucket, ticks close the bucket into a deque pruned to the longest window.
+All windows are virtual-time seconds — the simulated runs replay hours of
+traffic in seconds, so defaults are seconds-scale, not the SRE hours.
+
+Fire and clear events are recorded as trace instants (category
+``"alert"``) when a :class:`~repro.core.trace.TraceRecorder` is attached,
+so alerts land on the Perfetto timeline next to the spans that caused
+them.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.core.qos import QOS_CLASSES, TenantSpec
+
+__all__ = ["BurnWindow", "AlertEvent", "SloEngine", "SIGNALS"]
+
+#: The two latency signals tracked per tenant.
+SIGNALS = ("ttft", "tpot")
+
+
+@dataclass(frozen=True)
+class BurnWindow:
+    """One multi-window burn-rate rule (seconds of virtual time)."""
+
+    long_s: float
+    short_s: float
+    threshold: float
+
+    def __post_init__(self) -> None:
+        if not self.long_s > self.short_s > 0:
+            raise ReproError(
+                f"burn window needs long_s > short_s > 0, got "
+                f"({self.long_s}, {self.short_s})"
+            )
+        if self.threshold <= 0:
+            raise ReproError("burn threshold must be positive")
+
+
+@dataclass
+class AlertEvent:
+    """One fire or clear transition of a burn-rate alert."""
+
+    time: float
+    kind: str  # "fire" | "clear"
+    tenant: str
+    signal: str  # "ttft" | "tpot"
+    window: int  # index into the engine's window list
+    long_s: float
+    short_s: float
+    threshold: float
+    burn_long: float
+    burn_short: float
+
+
+class _SignalTracker:
+    """Good/bad accounting for one (tenant, signal) stream."""
+
+    def __init__(self, windows: Sequence[BurnWindow]) -> None:
+        self.windows = tuple(windows)
+        self.good = 0
+        self.bad = 0
+        self._cur_good = 0
+        self._cur_bad = 0
+        # Closed buckets: (tick_time, good, bad), pruned to the longest
+        # window at each tick, so memory is O(longest_window / scrape).
+        self._buckets: Deque[Tuple[float, int, int]] = deque()
+        self.active: List[bool] = [False] * len(self.windows)
+
+    def observe(self, met: bool) -> None:
+        if met:
+            self.good += 1
+            self._cur_good += 1
+        else:
+            self.bad += 1
+            self._cur_bad += 1
+
+    def _window_counts(self, now: float, window_s: float) -> Tuple[int, int]:
+        good = self._cur_good
+        bad = self._cur_bad
+        floor = now - window_s
+        for time, g, b in reversed(self._buckets):
+            if time <= floor:
+                break
+            good += g
+            bad += b
+        return good, bad
+
+    def burn_rate(self, now: float, window_s: float, budget: float) -> float:
+        good, bad = self._window_counts(now, window_s)
+        total = good + bad
+        if total == 0:
+            return 0.0
+        return (bad / total) / budget
+
+    def tick(self, now: float, budget: float) -> List[Tuple[int, str, float, float]]:
+        """Close the current bucket and evaluate every window rule.
+
+        Returns ``(window_index, kind, burn_long, burn_short)`` transitions.
+        """
+        if self._cur_good or self._cur_bad:
+            self._buckets.append((now, self._cur_good, self._cur_bad))
+            self._cur_good = 0
+            self._cur_bad = 0
+        longest = max(w.long_s for w in self.windows) if self.windows else 0.0
+        floor = now - longest
+        while self._buckets and self._buckets[0][0] <= floor:
+            self._buckets.popleft()
+        transitions: List[Tuple[int, str, float, float]] = []
+        for index, window in enumerate(self.windows):
+            burn_long = self.burn_rate(now, window.long_s, budget)
+            burn_short = self.burn_rate(now, window.short_s, budget)
+            if not self.active[index]:
+                if burn_long >= window.threshold and burn_short >= window.threshold:
+                    self.active[index] = True
+                    transitions.append((index, "fire", burn_long, burn_short))
+            else:
+                if burn_short < window.threshold:
+                    self.active[index] = False
+                    transitions.append((index, "clear", burn_long, burn_short))
+        return transitions
+
+
+class SloEngine:
+    """Tracks per-tenant error budgets and drives burn-rate alerts.
+
+    Independent of the QoS *service*: the engine keeps its own spec table
+    (seeded from the config's tenants, extended via :meth:`register`), so
+    the monitor classifies SLOs even on deployments that run with QoS
+    enforcement off (the load harness does exactly that).  Unknown tenants
+    get an implicit default-class spec at first observation.
+    """
+
+    def __init__(
+        self,
+        windows: Sequence[BurnWindow],
+        default_target: float = 0.95,
+        default_class: str = "standard",
+        trace=None,
+    ) -> None:
+        if not windows:
+            raise ReproError("SloEngine needs at least one burn window")
+        if not 0.0 < default_target < 1.0:
+            raise ReproError("slo_target must be in (0, 1)")
+        if default_class not in QOS_CLASSES:
+            raise ReproError(
+                f"unknown default class {default_class!r}; have {QOS_CLASSES}"
+            )
+        self.windows = tuple(windows)
+        self.default_target = default_target
+        self.default_class = default_class
+        self._trace = trace
+        self._specs: Dict[str, TenantSpec] = {}
+        self._trackers: Dict[Tuple[str, str], _SignalTracker] = {}
+        #: Every fire/clear transition, in virtual-time order.
+        self.alerts: List[AlertEvent] = []
+
+    # -- registry -----------------------------------------------------------
+
+    def register(self, spec: TenantSpec) -> None:
+        """Register (or replace) the spec SLOs are judged against."""
+        self._specs[spec.name] = spec
+
+    def spec_for(self, tenant: str) -> TenantSpec:
+        spec = self._specs.get(tenant)
+        if spec is None:
+            spec = TenantSpec(name=tenant, priority_class=self.default_class)
+            self._specs[tenant] = spec
+        return spec
+
+    def target_for(self, tenant: str) -> float:
+        spec = self.spec_for(tenant)
+        return spec.slo_target if spec.slo_target is not None else self.default_target
+
+    def tenants(self) -> List[str]:
+        return sorted(self._specs)
+
+    def _tracker(self, tenant: str, signal: str) -> _SignalTracker:
+        key = (tenant, signal)
+        tracker = self._trackers.get(key)
+        if tracker is None:
+            tracker = _SignalTracker(self.windows)
+            self._trackers[key] = tracker
+        return tracker
+
+    # -- observation --------------------------------------------------------
+
+    def observe_ttft(self, tenant: str, seconds: float) -> bool:
+        """Judge one TTFT sample; returns True if it met the target."""
+        met = seconds <= self.spec_for(tenant).ttft_slo_s
+        self._tracker(tenant, "ttft").observe(met)
+        return met
+
+    def observe_tpot(self, tenant: str, seconds: float) -> bool:
+        """Judge one TPOT sample; returns True if it met the target."""
+        met = seconds <= self.spec_for(tenant).tpot_slo_s
+        self._tracker(tenant, "tpot").observe(met)
+        return met
+
+    # -- scrape tick --------------------------------------------------------
+
+    def tick(self, now: float) -> List[AlertEvent]:
+        """Advance every window; returns the fire/clear transitions."""
+        events: List[AlertEvent] = []
+        for (tenant, signal), tracker in self._trackers.items():
+            budget = 1.0 - self.target_for(tenant)
+            for index, kind, burn_long, burn_short in tracker.tick(now, budget):
+                window = self.windows[index]
+                event = AlertEvent(
+                    time=now,
+                    kind=kind,
+                    tenant=tenant,
+                    signal=signal,
+                    window=index,
+                    long_s=window.long_s,
+                    short_s=window.short_s,
+                    threshold=window.threshold,
+                    burn_long=burn_long,
+                    burn_short=burn_short,
+                )
+                events.append(event)
+                self.alerts.append(event)
+                if self._trace is not None:
+                    self._trace.instant(
+                        f"slo_alert_{kind}",
+                        "alert",
+                        args={
+                            "tenant": tenant,
+                            "signal": signal,
+                            "window": index,
+                            "long_s": window.long_s,
+                            "short_s": window.short_s,
+                            "threshold": window.threshold,
+                            "burn_long": burn_long,
+                            "burn_short": burn_short,
+                        },
+                    )
+        return events
+
+    # -- reporting ----------------------------------------------------------
+
+    def active_alerts(self) -> List[dict]:
+        """Currently-firing (tenant, signal, window) rules."""
+        active: List[dict] = []
+        for (tenant, signal), tracker in sorted(self._trackers.items()):
+            for index, firing in enumerate(tracker.active):
+                if firing:
+                    window = self.windows[index]
+                    active.append(
+                        {
+                            "tenant": tenant,
+                            "signal": signal,
+                            "window": index,
+                            "long_s": window.long_s,
+                            "short_s": window.short_s,
+                            "threshold": window.threshold,
+                        }
+                    )
+        return active
+
+    def budget(self, tenant: str, signal: str) -> dict:
+        """Cumulative error-budget consumption of one signal stream."""
+        tracker = self._trackers.get((tenant, signal))
+        good = tracker.good if tracker is not None else 0
+        bad = tracker.bad if tracker is not None else 0
+        total = good + bad
+        target = self.target_for(tenant)
+        budget_fraction = 1.0 - target
+        bad_fraction = bad / total if total else 0.0
+        consumed = bad_fraction / budget_fraction if budget_fraction else 0.0
+        return {
+            "events": total,
+            "bad": bad,
+            "attainment": good / total if total else 1.0,
+            "target": target,
+            "budget_fraction": budget_fraction,
+            "budget_consumed": consumed,
+            "budget_remaining": max(0.0, 1.0 - consumed),
+        }
+
+    def budgets(self) -> Dict[str, Dict[str, dict]]:
+        """``tenant -> signal -> budget`` for every observed stream."""
+        report: Dict[str, Dict[str, dict]] = {}
+        for tenant, signal in sorted(self._trackers):
+            report.setdefault(tenant, {})[signal] = self.budget(tenant, signal)
+        return report
+
+    def trackers(self) -> Dict[Tuple[str, str], _SignalTracker]:
+        return self._trackers

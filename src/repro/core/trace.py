@@ -55,6 +55,7 @@ TRACE_CATEGORIES = (
     "sched",      # batch formation / dispatch bookkeeping
     "net",        # link wire occupancy
     "counter",    # sampler time-series
+    "alert",      # SLO burn-rate alert fire/clear instants
 )
 
 

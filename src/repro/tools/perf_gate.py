@@ -1,9 +1,14 @@
-"""Perf gate: compare a fresh ``BENCH_*.json`` artifact against a baseline.
+"""Perf gate: compare fresh ``BENCH_*.json`` artifacts against baselines.
 
-CI runs the load-sweep smoke, which rewrites ``BENCH_load_sweep.json``, and
-then calls this tool with the committed baseline stashed beforehand.  The
-gate fails (exit 1) when any watched metric regresses by more than the
-allowed fraction; improvements and new metrics pass.
+CI runs the benchmark smokes, which rewrite their ``BENCH_*.json``
+artifacts, and then calls this tool with the committed baselines stashed
+beforehand.  The gate fails (exit 1) when any watched metric regresses by
+more than the allowed fraction; improvements and new metrics pass.
+
+Several baseline/fresh *pairs* can be gated in one invocation (the
+positional arguments alternate baseline, fresh, baseline, fresh, ...);
+every pair is always evaluated and ALL regressions are reported, so one
+failing artifact cannot mask another.
 
 Watched metrics are *lower-is-better* counters (``--metric``, repeatable;
 default: ``events_per_request_10k``, the control-plane scaling headline —
@@ -15,9 +20,10 @@ itself a regression.
 Usage::
 
     python -m repro.tools.perf_gate baseline.json fresh.json
-    python -m repro.tools.perf_gate baseline.json fresh.json \
-        --metric events_per_request_10k --metric events_per_request_1k \
-        --tolerance 0.10
+    python -m repro.tools.perf_gate \
+        /tmp/sweep_base.json BENCH_load_sweep.json \
+        /tmp/slo_base.json BENCH_slo_monitor.json \
+        --metric events_per_request_10k --tolerance 0.10
 """
 
 from __future__ import annotations
@@ -65,8 +71,13 @@ def compare(
 
 def main(argv: Sequence[str] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("baseline", type=Path, help="committed baseline artifact")
-    parser.add_argument("fresh", type=Path, help="freshly generated artifact")
+    parser.add_argument(
+        "artifacts",
+        type=Path,
+        nargs="+",
+        metavar="baseline fresh",
+        help="alternating baseline/fresh artifact pairs",
+    )
     parser.add_argument(
         "--metric",
         action="append",
@@ -81,19 +92,36 @@ def main(argv: Sequence[str] = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    if not args.baseline.exists():
-        print(f"perf-gate: no baseline at {args.baseline}, accepting fresh run")
-        return 0
-    baseline = json.loads(args.baseline.read_text())
-    fresh = json.loads(args.fresh.read_text())
+    if len(args.artifacts) % 2 != 0:
+        parser.error(
+            f"artifacts must come in baseline/fresh pairs, got "
+            f"{len(args.artifacts)} paths"
+        )
+    pairs = list(zip(args.artifacts[0::2], args.artifacts[1::2]))
     metrics = args.metrics or list(DEFAULT_METRICS)
+    multi = len(pairs) > 1
 
-    failures = compare(baseline, fresh, metrics=metrics, tolerance=args.tolerance)
-    for metric in metrics:
-        if metric in baseline and metric in fresh:
-            print(f"perf-gate: {metric}: {baseline[metric]} -> {fresh[metric]}")
-    if failures:
-        for failure in failures:
+    all_failures: List[str] = []
+    for baseline_path, fresh_path in pairs:
+        prefix = f"{fresh_path.name}: " if multi else ""
+        if not baseline_path.exists():
+            print(
+                f"perf-gate: {prefix}no baseline at {baseline_path}, "
+                f"accepting fresh run"
+            )
+            continue
+        baseline = json.loads(baseline_path.read_text())
+        fresh = json.loads(fresh_path.read_text())
+        failures = compare(baseline, fresh, metrics=metrics, tolerance=args.tolerance)
+        for metric in metrics:
+            if metric in baseline and metric in fresh:
+                print(
+                    f"perf-gate: {prefix}{metric}: "
+                    f"{baseline[metric]} -> {fresh[metric]}"
+                )
+        all_failures.extend(prefix + failure for failure in failures)
+    if all_failures:
+        for failure in all_failures:
             print(f"perf-gate: FAIL {failure}")
         return 1
     print("perf-gate: pass")

@@ -390,7 +390,7 @@ class TestClusterStats:
         assert stats.combined.commands_dispatched == sum(
             s.commands_dispatched for s in stats.per_device.values()
         )
-        assert len(stats.combined.batch_sizes) == stats.combined.batches_dispatched
+        assert stats.combined.batch_sizes.total == stats.combined.batches_dispatched
         # Every device actually served work under round robin.
         assert all(s.batches_dispatched > 0 for s in stats.per_device.values())
         # The device pool saw exactly the dispatched batches.

@@ -36,7 +36,15 @@ def make_agent(index):
     return InferletProgram(name=f"det{index}", main=main, prefix_hint=PROMPT)
 
 
-def run_stack(seed=7, n_agents=6, qos=False, chunked=False, disagg=False, tracing=False):
+def run_stack(
+    seed=7,
+    n_agents=6,
+    qos=False,
+    chunked=False,
+    disagg=False,
+    tracing=False,
+    monitoring=False,
+):
     """Cluster of 2 devices + host KV tier + prefix cache, staggered fleet.
 
     ``qos=True`` layers the multi-tenant QoS service on top (tenant
@@ -51,7 +59,8 @@ def run_stack(seed=7, n_agents=6, qos=False, chunked=False, disagg=False, tracin
     bit-identical to the disaggregation-off run.  ``tracing=True`` turns on
     the flight recorder (repro.core.trace), which must observe without
     perturbing: tokens, metrics and virtual timestamps stay bit-identical
-    to the tracing-off run.
+    to the tracing-off run.  ``monitoring=True`` turns on the live SLO
+    monitoring plane (repro.core.monitor) under the same contract.
     """
     sim = Simulator(seed=seed)
     tenants = (
@@ -76,6 +85,7 @@ def run_stack(seed=7, n_agents=6, qos=False, chunked=False, disagg=False, tracin
             prefill_chunk_tokens=16,
             max_batch_tokens=24,
             tracing=tracing,
+            monitoring=monitoring,
         ),
     )
     server = PieServer(sim, config=config)
@@ -122,6 +132,9 @@ def run_stack(seed=7, n_agents=6, qos=False, chunked=False, disagg=False, tracin
         for event in server.trace.events():
             categories[event["cat"]] = categories.get(event["cat"], 0) + 1
         out["trace_categories"] = categories
+    if server.monitor is not None:
+        out["monitor_scrapes"] = server.monitor.scrapes_taken
+        out["monitor_snapshot"] = server.monitor.registry.scalar_snapshot()
     return out
 
 
@@ -288,6 +301,40 @@ def test_tracing_on_is_bit_identical_run_to_run():
     assert first["results"] == second["results"]
     assert first["metrics"] == second["metrics"]
     assert first["trace_categories"] == second["trace_categories"]
+
+
+def test_monitoring_off_default_is_inert():
+    """monitoring=False (the default) constructs no monitor at all: no
+    registry, no SLO engine, no scrape timer — structural inertness."""
+    sim = Simulator(seed=1)
+    server = PieServer(sim, num_devices=2)
+    assert server.monitor is None
+    assert server.controller.monitor is None
+
+
+def test_monitoring_on_does_not_perturb_the_run():
+    """The monitor observes without perturbing: tokens, metrics and every
+    virtual timestamp are bit-identical with monitoring on vs off, on the
+    full qos+chunked+disagg stack (and the monitor actually scraped)."""
+    on = run_stack(qos=True, chunked=True, disagg=True, monitoring=True)
+    off = run_stack(qos=True, chunked=True, disagg=True, monitoring=False)
+    assert on["now"] == off["now"]
+    assert on["results"] == off["results"]
+    assert on["metrics"] == off["metrics"]
+    assert on["monitor_scrapes"] > 0
+    assert any(
+        key.startswith("pie_requests_total") for key in on["monitor_snapshot"]
+    )
+
+
+def test_monitoring_on_is_bit_identical_run_to_run():
+    first = run_stack(qos=True, chunked=True, disagg=True, monitoring=True)
+    second = run_stack(qos=True, chunked=True, disagg=True, monitoring=True)
+    assert first["now"] == second["now"]
+    assert first["results"] == second["results"]
+    assert first["metrics"] == second["metrics"]
+    assert first["monitor_scrapes"] == second["monitor_scrapes"]
+    assert first["monitor_snapshot"] == second["monitor_snapshot"]
 
 
 def test_disagg_composed_with_qos_and_chunked_is_bit_identical():

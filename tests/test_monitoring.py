@@ -1,0 +1,223 @@
+"""The SLO engine (burn-rate alerting) and the live monitor plane."""
+
+import json
+
+import pytest
+
+from repro.core import PieServer, TenantSpec
+from repro.core.slo import BurnWindow, SloEngine
+from repro.errors import ClientError, ReproError
+from repro.sim import Simulator
+
+
+def engine(windows=None, target=0.95):
+    return SloEngine(
+        windows or (BurnWindow(2.0, 0.5, 6.0),), default_target=target
+    )
+
+
+def drive(eng, tenant, pattern, dt=0.1, start=0.0):
+    """Feed (n_good, n_bad) buckets, ticking after each; returns events."""
+    events = []
+    now = start
+    for n_good, n_bad in pattern:
+        now += dt
+        tracker = eng._tracker(tenant, "ttft")
+        for _ in range(n_good):
+            tracker.observe(True)
+        for _ in range(n_bad):
+            tracker.observe(False)
+        events.extend(eng.tick(now))
+    return events
+
+
+class TestBurnWindows:
+    def test_window_validation(self):
+        with pytest.raises(ReproError):
+            BurnWindow(0.5, 2.0, 6.0)  # long must exceed short
+        with pytest.raises(ReproError):
+            BurnWindow(2.0, 0.5, 0.0)  # threshold must be positive
+        with pytest.raises(ReproError):
+            SloEngine(())
+
+    def test_golden_fire_and_clear_sequence(self):
+        # Budget 5%; threshold 6x => fire needs >30% bad in BOTH windows.
+        eng = engine(windows=(BurnWindow(0.3, 0.1, 6.0),))
+        events = drive(
+            eng,
+            "acme",
+            [
+                (10, 0),  # healthy
+                (10, 0),
+                (5, 5),  # 50% bad, but the long window is still diluted
+                (5, 5),  # healthy buckets age out: burn >= 6 in BOTH -> FIRE
+                (10, 0),  # short window recovers -> CLEAR
+                (10, 0),
+            ],
+        )
+        assert [(e.kind, round(e.time, 1)) for e in events] == [
+            ("fire", 0.4),
+            ("clear", 0.5),
+        ]
+        fire, clear = events
+        assert fire.tenant == "acme" and fire.signal == "ttft"
+        assert fire.burn_long >= 6.0 and fire.burn_short >= 6.0
+        assert clear.burn_short < 6.0
+        assert eng.active_alerts() == []
+
+    def test_transient_spike_does_not_fire(self):
+        # One bad bucket inside a long healthy run: the short window burns
+        # but the long window stays below threshold, so no alert.
+        eng = engine(windows=(BurnWindow(2.0, 0.2, 6.0),))
+        events = drive(
+            eng,
+            "acme",
+            [(10, 0)] * 10 + [(5, 5)] + [(10, 0)] * 5,
+            dt=0.2,
+        )
+        assert events == []
+
+    def test_sustained_burn_keeps_alert_active(self):
+        eng = engine()
+        events = drive(eng, "acme", [(0, 10)] * 8)
+        assert [e.kind for e in events] == ["fire"]
+        assert len(eng.active_alerts()) == 1
+
+    def test_every_window_rule_fires_independently(self):
+        # Under a total outage every rule trips; events carry the window
+        # index so the two alerts are distinguishable streams.
+        eng = engine(
+            windows=(BurnWindow(0.4, 0.1, 6.0), BurnWindow(2.0, 0.5, 3.0))
+        )
+        events = drive(eng, "acme", [(0, 10)] * 6)
+        kinds = [(e.kind, e.window) for e in events]
+        assert kinds[0] == ("fire", 0)
+        assert ("fire", 1) in kinds
+
+    def test_per_tenant_targets(self):
+        eng = engine(target=0.95)
+        eng.register(TenantSpec(name="strict", slo_target=0.999))
+        assert eng.target_for("strict") == 0.999
+        assert eng.target_for("lax") == 0.95  # implicit default spec
+
+    def test_observation_judges_against_spec(self):
+        eng = engine()
+        eng.register(TenantSpec(name="acme", ttft_slo_ms=100.0, tpot_slo_ms=10.0))
+        assert eng.observe_ttft("acme", 0.05) is True
+        assert eng.observe_ttft("acme", 0.2) is False
+        assert eng.observe_tpot("acme", 0.02) is False
+        budget = eng.budget("acme", "ttft")
+        assert budget["events"] == 2 and budget["bad"] == 1
+        assert budget["attainment"] == 0.5
+
+    def test_budget_consumption_math(self):
+        eng = engine(target=0.9)  # budget fraction 0.1
+        eng.register(TenantSpec(name="acme", ttft_slo_ms=100.0))
+        for _ in range(95):
+            eng.observe_ttft("acme", 0.01)
+        for _ in range(5):
+            eng.observe_ttft("acme", 1.0)
+        budget = eng.budget("acme", "ttft")
+        assert budget["budget_fraction"] == pytest.approx(0.1)
+        assert budget["budget_consumed"] == pytest.approx(0.5)
+        assert budget["budget_remaining"] == pytest.approx(0.5)
+
+
+class TestMonitorService:
+    def make_server(self, **kwargs):
+        sim = Simulator(seed=5)
+        server = PieServer(sim, **kwargs)
+        return sim, server
+
+    def test_off_by_default(self):
+        _, server = self.make_server()
+        assert server.monitor is None
+        with pytest.raises(ClientError):
+            server.export_metrics()
+        with pytest.raises(ClientError):
+            server.prometheus_metrics()
+
+    def test_monitor_knobs_imply_monitoring(self):
+        _, server = self.make_server(scrape_interval_ms=25.0)
+        assert server.monitor is not None
+        assert server.config.control.monitoring is True
+        assert server.monitor.scrape_seconds == pytest.approx(0.025)
+
+    def test_config_tenants_seed_slo_specs(self):
+        _, server = self.make_server(
+            monitoring=True,
+            tenants=(TenantSpec(name="acme", slo_target=0.99),),
+        )
+        assert server.monitor.slo.target_for("acme") == 0.99
+        # Registering tenants also switched QoS on (existing shorthand).
+        assert server.config.control.qos is True
+
+    def test_burn_window_knob_validation(self):
+        with pytest.raises(ReproError):
+            self.make_server(monitoring=True, slo_burn_windows=())
+        with pytest.raises(ReproError):
+            self.make_server(monitoring=True, slo_burn_windows=((1.0, 2.0, 6.0),))
+        with pytest.raises(ReproError):
+            self.make_server(monitoring=True, slo_target=1.5)
+
+    def test_export_round_trip(self, tmp_path):
+        from repro.core import InferletProgram
+        from repro.support import Context, SamplingParams
+
+        sim, server = self.make_server(monitoring=True)
+
+        async def main(ctx):
+            context = Context(ctx, sampling=SamplingParams())
+            await context.fill("a tiny monitored prompt ")
+            await context.generate_until(max_tokens=3)
+            context.free()
+            return "done"
+
+        server.register_program(InferletProgram(name="probe", main=main))
+        sim.run_until_complete(server.run_inferlet("probe", tenant="acme"))
+
+        json_path = tmp_path / "snap.json"
+        prom_path = tmp_path / "snap.prom"
+        document = server.export_metrics(str(json_path))
+        server.export_metrics(str(prom_path))
+        assert json.loads(json_path.read_text())["scrapes"] == document["scrapes"]
+
+        from repro.tools.slo_report import build_report, load_snapshot
+
+        json_report = build_report(load_snapshot(str(json_path)))
+        prom_report = build_report(load_snapshot(str(prom_path)))
+        for report in (json_report, prom_report):
+            budgets = {
+                (row["tenant"], row["signal"]): row for row in report["budgets"]
+            }
+            assert budgets[("acme", "ttft")]["events"] == 1
+            assert budgets[("acme", "ttft")]["bad"] == 0
+        # Request counters survive the Prometheus round trip too.
+        parsed = load_snapshot(str(prom_path))["metrics"]
+        samples = parsed["pie_requests_total"]["samples"]
+        assert samples == [
+            {"labels": {"tenant": "acme", "status": "finished"}, "value": 1.0}
+        ]
+
+    def test_scraper_keeps_queue_drainable(self):
+        """The scrape timer must not keep the simulation alive: the run
+        ends when the workload does, scraper armed or not."""
+        from repro.core import InferletProgram
+        from repro.support import Context, SamplingParams
+
+        sim, server = self.make_server(monitoring=True)
+
+        async def main(ctx):
+            context = Context(ctx, sampling=SamplingParams())
+            await context.fill("drainable ")
+            await context.generate_until(max_tokens=2)
+            context.free()
+            return "ok"
+
+        server.register_program(InferletProgram(name="probe", main=main))
+        result = sim.run_until_complete(server.run_inferlet("probe"))
+        assert result.status == "finished"
+        # A second wave works too (the poke re-arms the scraper).
+        before = server.monitor.scrapes_taken
+        sim.run_until_complete(server.run_inferlet("probe"))
+        assert server.monitor.scrapes_taken >= before

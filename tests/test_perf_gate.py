@@ -55,3 +55,66 @@ class TestCli:
         fresh = tmp_path / "fresh.json"
         fresh.write_text(json.dumps({"events_per_request_10k": 100.0}))
         assert main([str(tmp_path / "absent.json"), str(fresh)]) == 0
+
+    def test_multiple_pairs_pass(self, tmp_path):
+        paths = []
+        for name, value in (
+            ("a_base", 100.0),
+            ("a_fresh", 101.0),
+            ("b_base", 50.0),
+            ("b_fresh", 49.0),
+        ):
+            path = tmp_path / f"{name}.json"
+            path.write_text(json.dumps({"events_per_request_10k": value}))
+            paths.append(str(path))
+        assert main(paths) == 0
+
+    def test_multiple_pairs_report_all_regressions(self, tmp_path, capsys):
+        paths = []
+        for name, value in (
+            ("a_base", 100.0),
+            ("a_fresh", 150.0),  # regression 1
+            ("b_base", 50.0),
+            ("b_fresh", 49.0),  # fine
+            ("c_base", 10.0),
+            ("c_fresh", 20.0),  # regression 2
+        ):
+            path = tmp_path / f"{name}.json"
+            path.write_text(json.dumps({"events_per_request_10k": value}))
+            paths.append(str(path))
+        assert main(paths) == 1
+        out = capsys.readouterr().out
+        # Both regressions reported, each prefixed with its fresh artifact.
+        assert out.count("FAIL") == 2
+        assert "a_fresh.json:" in out
+        assert "c_fresh.json:" in out
+
+    def test_multiple_pairs_missing_baseline_is_per_pair(self, tmp_path):
+        fresh_a = tmp_path / "a_fresh.json"
+        fresh_a.write_text(json.dumps({"events_per_request_10k": 100.0}))
+        base_b = tmp_path / "b_base.json"
+        fresh_b = tmp_path / "b_fresh.json"
+        base_b.write_text(json.dumps({"events_per_request_10k": 10.0}))
+        fresh_b.write_text(json.dumps({"events_per_request_10k": 20.0}))
+        # Pair A has no baseline (accepted); pair B still regresses.
+        assert (
+            main(
+                [
+                    str(tmp_path / "absent.json"),
+                    str(fresh_a),
+                    str(base_b),
+                    str(fresh_b),
+                ]
+            )
+            == 1
+        )
+
+    def test_odd_artifact_count_is_an_error(self, tmp_path):
+        fresh = tmp_path / "fresh.json"
+        fresh.write_text("{}")
+        try:
+            main([str(fresh), str(fresh), str(fresh)])
+        except SystemExit as exc:
+            assert exc.code == 2
+        else:
+            raise AssertionError("expected SystemExit from argparse error")

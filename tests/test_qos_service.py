@@ -494,8 +494,11 @@ class TestSloAttainment:
             sim, TenantSpec(name="acme", ttft_slo_ms=100.0, tpot_slo_ms=50.0)
         )
         record = qos.metrics.tenants["acme"]
-        record.ttft_seconds.extend([0.05, 0.2])  # one hit, one miss
-        record.tpot_seconds.extend([0.01, 0.04])  # two hits
+        spec = qos.tenant_spec("acme")
+        record.observe_ttft(0.05, slo_s=spec.ttft_slo_s)  # hit
+        record.observe_ttft(0.2, slo_s=spec.ttft_slo_s)  # miss
+        record.observe_tpot(0.01, slo_s=spec.tpot_slo_s)  # hit
+        record.observe_tpot(0.04, slo_s=spec.tpot_slo_s)  # hit
         assert qos.slo_attainment("acme") == 3 / 4
 
     def test_no_samples_counts_as_full_attainment(self):
@@ -559,4 +562,4 @@ class TestTpotSamples:
         instance.metrics.note_output(now=0.5, count=8)
         instance.metrics.status = "finished"
         qos.note_finished(instance)
-        assert qos.metrics.tenants["acme"].tpot_seconds == []
+        assert qos.metrics.tenants["acme"].tpot.total == 0
