@@ -369,8 +369,30 @@ def run_open_loop(
             ),
             "active_alerts": monitor.slo.active_alerts(),
             "budgets": monitor.slo.budgets(),
-            "snapshot": monitor.snapshot_document(),
+            # export_metrics (not snapshot_document) so the injected-fault
+            # record rides along when the chaos plane is on.
+            "snapshot": server.export_metrics(),
             "prometheus": monitor.to_prometheus(),
+        }
+    if server.controller.faults is not None:
+        health = server.controller.health
+        row["chaos"] = {
+            "faults_injected": metrics.faults_injected,
+            "shard_crashes": metrics.shard_crashes,
+            "shard_slowdowns": metrics.shard_slowdowns,
+            "link_faults": metrics.link_faults,
+            "tool_faults": metrics.tool_faults,
+            "failover_relaunches": metrics.failover_relaunches,
+            "failover_terminations": metrics.failover_terminations,
+            "tool_retries": metrics.tool_retries,
+            "handoff_retries": metrics.handoff_retries,
+            "retries_exhausted": metrics.retries_exhausted,
+            "brownout_activations": metrics.brownout_activations,
+            "brownout_clears": metrics.brownout_clears,
+            "brownout_shed": metrics.brownout_shed,
+            "shard_states": (
+                {} if health is None else dict(sorted(health.states.items()))
+            ),
         }
     if collect_outputs:
         row["arrival_times"] = [arrival.time for arrival in arrivals]

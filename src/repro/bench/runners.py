@@ -33,6 +33,12 @@ def make_pie_setup(
     scrape_interval_ms: Optional[float] = None,
     slo_target: Optional[float] = None,
     slo_burn_windows: Optional[Sequence[Sequence[float]]] = None,
+    faults: Optional[bool] = None,
+    fault_seed: Optional[int] = None,
+    fault_plan: Optional[Sequence[Sequence]] = None,
+    heartbeat_interval_ms: Optional[float] = None,
+    brownout: Optional[bool] = None,
+    brownout_chunk_scale: Optional[float] = None,
 ) -> Tuple[Simulator, PieServer]:
     """Create a simulator + Pie server + standard tool environment.
 
@@ -50,7 +56,11 @@ def make_pie_setup(
     ``trace_sample_ms`` enable the control-plane flight recorder
     (:mod:`repro.core.trace`).  ``monitoring`` / ``scrape_interval_ms`` /
     ``slo_target`` / ``slo_burn_windows`` enable the live SLO monitoring
-    plane (:mod:`repro.core.monitor`).
+    plane (:mod:`repro.core.monitor`).  ``faults`` / ``fault_seed`` /
+    ``fault_plan`` / ``heartbeat_interval_ms`` enable the chaos plane's
+    deterministic fault injection and shard health service
+    (:mod:`repro.sim.faults`, :mod:`repro.core.health`); ``brownout`` /
+    ``brownout_chunk_scale`` enable SLO-driven graceful degradation.
     """
     sim = Simulator(seed=seed)
     server = PieServer(
@@ -75,6 +85,12 @@ def make_pie_setup(
         scrape_interval_ms=scrape_interval_ms,
         slo_target=slo_target,
         slo_burn_windows=slo_burn_windows,
+        faults=faults,
+        fault_seed=fault_seed,
+        fault_plan=fault_plan,
+        heartbeat_interval_ms=heartbeat_interval_ms,
+        brownout=brownout,
+        brownout_chunk_scale=brownout_chunk_scale,
     )
     if with_tools:
         ToolEnvironment(sim, server.external)

@@ -41,6 +41,8 @@ from repro.core.qos import QOS_CLASSES, QosService, TenantSpec
 from repro.core.registry import LogHistogram, MetricRegistry
 from repro.core.slo import AlertEvent, BurnWindow, SloEngine
 from repro.core.monitor import MonitorService
+from repro.core.health import SHARD_STATES, BrownoutController, ShardHealthService
+from repro.core.retry import RetryPolicy
 from repro.core.server import PieServer, PieClient, LaunchResult
 
 __all__ = [
@@ -71,6 +73,10 @@ __all__ = [
     "BurnWindow",
     "SloEngine",
     "MonitorService",
+    "SHARD_STATES",
+    "BrownoutController",
+    "ShardHealthService",
+    "RetryPolicy",
     "PieServer",
     "PieClient",
     "LaunchResult",

@@ -194,6 +194,49 @@ class ControlLayerConfig:
         (2_000.0, 500.0, 6.0),
         (10_000.0, 2_000.0, 3.0),
     )
+    # Chaos plane (repro.sim.faults / repro.core.health / repro.core.retry):
+    # when True the controller builds a FaultInjector (replaying
+    # ``fault_plan`` on the virtual clock), a per-shard health service with
+    # a heartbeat prober, failover/relaunch on shard death, and a
+    # deterministic retry policy around tool calls and refused
+    # disaggregation handoffs.  Off by default — none of the machinery is
+    # constructed and the serving path is bit-identical to a faults=False
+    # run.
+    faults: bool = False
+    # Seed of the injector's own np.random.default_rng stream (jitter for
+    # generated plans and retry backoff); independent of the simulator
+    # seed so chaos runs are replayable against any workload seed.
+    fault_seed: int = 0
+    # Declarative fault schedule: a tuple of typed entries replayed on the
+    # virtual clock (see repro.sim.faults.FaultPlan.validate for the
+    # grammar), e.g. ("shard_crash", 0.5, 1) or
+    # ("tool_error", 1.0, 0.25, "http://tools/crm").
+    fault_plan: Tuple[tuple, ...] = ()
+    # Health heartbeat period in virtual milliseconds: each beat probes
+    # every shard's device, advances the health state machine and runs the
+    # failover sweep for newly-down shards.  0 disables the prober (faults
+    # still inject; detection then never happens).
+    heartbeat_interval_ms: float = 5.0
+    # Retry policy for faulted tool calls and refused handoffs:
+    # deterministic exponential backoff (base * multiplier^attempt, capped
+    # at retry_max_backoff_ms) with seeded jitter, an attempt cap and a
+    # per-class total-retry budget.
+    retry_max_attempts: int = 3
+    retry_base_ms: float = 10.0
+    retry_multiplier: float = 2.0
+    retry_max_backoff_ms: float = 1_000.0
+    retry_jitter: float = 0.1
+    retry_budget: int = 1_000
+    # SLO-driven brownout (graceful degradation): when True a controller
+    # in repro.core.health subscribes to the SloEngine's burn-rate alerts;
+    # while an interactive-class error budget burns, batch-class admission
+    # is shed (AdmissionRejectedError(reason="brownout")) and prefill
+    # chunk budgets widen, restoring when the alert clears.  Requires
+    # qos=True and monitoring=True.
+    brownout: bool = False
+    # Multiplier applied to prefill_chunk_tokens / max_batch_tokens while
+    # a brownout is active (chunked_prefill only).
+    brownout_chunk_scale: float = 2.0
 
 
 @dataclass(frozen=True)
@@ -304,3 +347,32 @@ class PieConfig:
         names = [spec.name for spec in self.control.tenants]
         if len(names) != len(set(names)):
             raise ReproError("tenant names must be unique")
+        if self.control.heartbeat_interval_ms < 0:
+            raise ReproError("heartbeat_interval_ms must be non-negative (0 = no prober)")
+        if self.control.retry_max_attempts < 1:
+            raise ReproError("retry_max_attempts must be at least 1")
+        if self.control.retry_base_ms < 0:
+            raise ReproError("retry_base_ms must be non-negative")
+        if self.control.retry_multiplier < 1.0:
+            raise ReproError("retry_multiplier must be at least 1.0")
+        if self.control.retry_max_backoff_ms < self.control.retry_base_ms:
+            raise ReproError("retry_max_backoff_ms must be >= retry_base_ms")
+        if not 0.0 <= self.control.retry_jitter < 1.0:
+            raise ReproError("retry_jitter must be in [0, 1)")
+        if self.control.retry_budget < 0:
+            raise ReproError("retry_budget must be non-negative")
+        if self.control.fault_plan and not self.control.faults:
+            raise ReproError("fault_plan requires faults=True")
+        if self.control.faults:
+            from repro.sim.faults import FaultPlan
+
+            FaultPlan.validate(self.control.fault_plan, self.gpu.num_devices)
+        if self.control.brownout:
+            if not self.control.qos or not self.control.monitoring:
+                raise ReproError(
+                    "brownout=True requires qos=True and monitoring=True "
+                    "(it subscribes to the SLO engine's burn-rate alerts "
+                    "and sheds batch-class admission)"
+                )
+        if self.control.brownout_chunk_scale < 1.0:
+            raise ReproError("brownout_chunk_scale must be at least 1.0")

@@ -18,11 +18,19 @@ from __future__ import annotations
 import itertools
 from typing import TYPE_CHECKING, Any, Callable, Dict, FrozenSet, List, Optional, Sequence
 
-from repro.errors import OutOfResourcesError, ReproError, ResourceError
+from repro.errors import (
+    FaultInjectedError,
+    OutOfResourcesError,
+    ReproError,
+    ResourceError,
+    RetriesExhaustedError,
+    ShardUnavailableError,
+)
 from repro.core.command_queue import Command
 from repro.core.config import PieConfig
 from repro.core.handles import Embed, KvPage, Queue
 from repro.core.handlers import ApiHandlers
+from repro.core.health import BrownoutController, ShardHealthService
 from repro.core.inferlet import InferletInstance
 from repro.core.messaging import ExternalServices, MessageBus
 from repro.core.metrics import SystemMetrics, TenantMetrics
@@ -30,6 +38,7 @@ from repro.core.monitor import MonitorService
 from repro.core.prefix_cache import PrefixCacheService
 from repro.core.qos import QosService
 from repro.core.resources import ResourceManager
+from repro.core.retry import RetryPolicy
 from repro.core.router import ClusterSchedulerStats, DeviceShard, Router
 from repro.core.scheduler import BatchScheduler, SchedulerStats
 from repro.core.swap import SwapManager
@@ -38,6 +47,7 @@ from repro.core.transfer import KvTransferScheduler
 from repro.gpu.host_pool import HostMemoryPool
 from repro.gpu.kernels import KernelCostModel
 from repro.gpu.pool import DevicePool
+from repro.sim.faults import FaultInjector
 from repro.core.traits import api_layer
 from repro.model.registry import ModelEntry, ModelRegistry
 from repro.sim.futures import SimFuture
@@ -185,12 +195,44 @@ class Controller:
             )
             for spec in config.control.tenants:
                 self.monitor.register_slo(spec)
+        # The chaos plane (repro.sim.faults / repro.core.retry /
+        # repro.core.health): all None when ControlLayerConfig.faults is
+        # off — the deterministic fault schedule, the retry policy for tool
+        # calls and refused handoffs, and the heartbeat-driven health /
+        # failover service.  Each draws randomness only from its own seeded
+        # stream, so faults=on perturbs the workload solely through the
+        # faults themselves.
+        self.faults: Optional[FaultInjector] = None
+        self.retry: Optional[RetryPolicy] = None
+        self.health: Optional[ShardHealthService] = None
+        self.brownout: Optional[BrownoutController] = None
+        if config.control.faults:
+            self.retry = RetryPolicy.from_config(
+                config.control, seed=config.control.fault_seed
+            )
+            self.faults = FaultInjector(
+                sim,
+                config.control.fault_plan,
+                seed=config.control.fault_seed,
+                trace=self.trace,
+                metrics=self.metrics,
+            )
         self._services: Dict[str, ModelService] = {}
         self._instances: Dict[str, InferletInstance] = {}
         self._queue_ids = itertools.count(1)
         self._terminate_hook: Optional[Callable[[InferletInstance, str], None]] = None
         for name in registry.names():
             self._services[name] = self._build_service(registry.get(name))
+        if config.control.faults:
+            self.health = ShardHealthService(self, config.control)
+            for service in self._services.values():
+                service.router.health_probe = self.health.placeable
+            self.faults.bind(health=self.health, links_fn=self._live_links)
+            self.faults.arm()
+        if config.control.brownout:
+            # Validated by PieConfig: brownout requires qos + monitoring.
+            self.brownout = BrownoutController(self, config.control)
+            self.monitor.add_alert_listener(self.brownout.on_alert)
         if self.trace is not None:
             self._install_telemetry_sampler()
         if self.monitor is not None:
@@ -304,6 +346,10 @@ class Controller:
             transfer=transfer,
         )
         if transfer is not None:
+            if self.retry is not None:
+                # Refused handoffs back off and retry instead of waiting
+                # for a sample completion a quiescent owner never emits.
+                transfer.set_retry(self.retry)
             # The handoff tail allocates on the decode shard through the
             # same swap-first / terminate-last reclamation ladder.
             transfer.bind_capacity_hook(
@@ -520,6 +566,8 @@ class Controller:
             self.trace.poke_sampler()
         if self.monitor is not None:
             self.monitor.poke()
+        if self.health is not None:
+            self.health.poke()
         for service in self._services.values():
             prefix_hint = instance.program.prefix_hint
             prefix_tokens = None
@@ -757,12 +805,120 @@ class Controller:
             return min(pool, key=lambda inst: self.qos.victim_key(inst))
         return max(pool, key=lambda inst: inst.created_at)
 
-    def terminate_inferlet(self, instance: InferletInstance, reason: str) -> None:
-        instance.mark_terminated(reason)
+    def terminate_inferlet(
+        self, instance: InferletInstance, reason: str, cause: str = ""
+    ) -> None:
+        instance.mark_terminated(reason, cause=cause)
         self.metrics.inferlets_terminated += 1
         if self._terminate_hook is not None:
             self._terminate_hook(instance, reason)
         self.unregister_inferlet(instance)
+
+    # -- chaos plane: failover -------------------------------------------------
+
+    def _live_links(self) -> List:
+        """Every live disaggregation KV link (the injector's fault target)."""
+        links: List = []
+        for service in self._services.values():
+            if service.transfer is not None:
+                links.extend(service.transfer.links())
+        return links
+
+    def _failover_shard(self, index: int) -> None:
+        """Shard ``index`` went down: evacuate or terminate its residents.
+
+        Streams targeting the dead shard re-plan first (their staged pages
+        free), then every inferlet placed there is re-materialized on a
+        healthy shard when its committed KV lives wholly in the host tier
+        (quiescent + fully swapped: the per-node host pool survives a
+        device crash) or terminated with ``cause="shard_down"``.
+        """
+        for service in self._services.values():
+            if index >= len(service.shards):
+                continue
+            dead = service.shards[index]
+            if service.transfer is not None:
+                service.transfer.on_shard_down(index)
+            for instance_id in sorted(service.router.instances_on(dead)):
+                instance = self._instances.get(instance_id)
+                if instance is None or instance.finished:
+                    continue
+                if self._try_relaunch(service, dead, instance):
+                    self.metrics.failover_relaunches += 1
+                    continue
+                self.metrics.failover_terminations += 1
+                self.terminate_inferlet(
+                    instance,
+                    reason=f"shard {dead.name} is down (injected crash)",
+                    cause="shard_down",
+                )
+
+    def _try_relaunch(
+        self, service: ModelService, dead: DeviceShard, instance: InferletInstance
+    ) -> bool:
+        """Re-materialize a fully host-tier-resident inferlet elsewhere.
+
+        Only safe when the owner's *committed* state survives the crash:
+        every KV page staged to the host tier (fully swapped), no in-air
+        or queued commands.  Embed slots are per-step scratch — their
+        device-resident contents died with the device, so fresh zeroed
+        slots are provisioned on the destination under the same virtual
+        ids; the next forward rewrites them before any sample reads them
+        (the Context idiom), exactly as after a cold resume.  The swapped
+        host slots and the address-space counters move via the same
+        detach/adopt path live migration uses; the next fault-in restores
+        the pages onto the new shard's device.
+        """
+        owner = instance.instance_id
+        swap = service.swap
+        if not swap.enabled or not swap.is_swapped(owner):
+            return False
+        if instance.in_air_commands > 0:
+            return False
+        if not dead.resources.has_space(owner):
+            return False
+        if dead.resources.kv_mapping(owner):
+            return False
+        for queue in dead.scheduler.queues_for_owner(owner):
+            if queue.pending_count or queue.inflight_count:
+                return False
+        try:
+            dst = service.shards[service.router._place_least_loaded()]
+        except ShardUnavailableError:
+            return False
+        emb_vids = sorted(dead.resources.emb_mapping(owner))
+        if dst.resources.memory.embeds.num_free < len(emb_vids):
+            return False
+        if service.transfer is not None:
+            # Any half-streamed KV of the owner is rooted on the dead
+            # device; drop the staging (the host tier holds the truth).
+            service.transfer.forget(owner)
+        _, _, swapped_kv, next_kv_vid, next_emb_vid = (
+            dead.resources.detach_space_for_migration(owner)
+        )
+        emb_map = dict(
+            zip(emb_vids, dst.resources.memory.embeds.allocate(len(emb_vids)))
+        )
+        dst.resources.adopt_migrated_space(
+            owner, {}, emb_map, swapped_kv, next_kv_vid, next_emb_vid
+        )
+        for queue in list(dead.scheduler.queues_for_owner(owner)):
+            dead.scheduler.detach_queue(queue.key)
+            dst.scheduler.adopt_queue(queue)
+        service.router.migrate(owner, dst.index)
+        swap.note_migrated(owner, dst)
+        if self.trace is not None:
+            start = dead.device.down_since
+            self.trace.complete(
+                "relaunch",
+                "fault",
+                start if start is not None else self.sim.now,
+                end=self.sim.now,
+                shard=dst.index,
+                inferlet=owner,
+                args={"src": dead.index, "dst": dst.index, "embeds": len(emb_vids)},
+            )
+        return True
 
     # -- deferred deallocation (ordering preserved through the command queue) --------------------
 
@@ -1092,12 +1248,75 @@ class Controller:
     def http_request(
         self, url: str, payload: Any = None, instance: Optional[InferletInstance] = None
     ) -> SimFuture:
-        future = self.sim.create_task(
-            self.external.request(url, payload), name=f"http:{url}"
-        )
+        if self.faults is not None:
+            future = self.sim.create_task(
+                self._faulty_request(url, payload, instance), name=f"http:{url}"
+            )
+        else:
+            future = self.sim.create_task(
+                self.external.request(url, payload), name=f"http:{url}"
+            )
         if instance is None:
             return future
         return self._wrap_external_call(instance, future)
+
+    async def _faulty_request(
+        self,
+        url: str,
+        payload: Any,
+        instance: Optional[InferletInstance] = None,
+    ) -> Any:
+        """Tool call under the chaos plane: fault windows, backoff, retry.
+
+        Each attempt consults the injector's open tool-fault windows; a hit
+        burns the timeout wait (``tool_timeout`` flavour), then the retry
+        policy decides between a jittered backoff and giving up with
+        :class:`RetriesExhaustedError` chained onto the injected fault.
+        """
+        attempts = 0
+        while True:
+            kind = self.faults.tool_fault(url, self.sim.now)
+            if kind is None:
+                return await self.external.request(url, payload)
+            self.metrics.tool_faults += 1
+            if self.trace is not None:
+                self.trace.instant(
+                    f"fault_{kind}_hit",
+                    "fault",
+                    args={"url": url, "attempt": attempts + 1},
+                )
+            if kind == "tool_timeout":
+                await self.sim.sleep(FaultInjector.TOOL_TIMEOUT_S)
+            delay = (
+                self.retry.backoff(attempts, "tool")
+                if self.retry is not None
+                else None
+            )
+            if delay is None:
+                self.metrics.retries_exhausted += 1
+                error = FaultInjectedError(
+                    f"tool call to {url} failed (injected {kind})", kind=kind
+                )
+                if self.retry is not None:
+                    raise RetriesExhaustedError(
+                        f"tool call to {url} failed after {attempts + 1} attempts "
+                        f"(injected {kind})",
+                        attempts=attempts + 1,
+                    ) from error
+                raise error
+            attempts += 1
+            self.metrics.tool_retries += 1
+            self.metrics.retry_backoff_seconds += delay
+            if self.trace is not None:
+                self.trace.complete(
+                    "retry_backoff",
+                    "fault",
+                    self.sim.now,
+                    end=self.sim.now + delay,
+                    inferlet=None if instance is None else instance.instance_id,
+                    args={"op": "tool", "url": url, "attempt": attempts, "delay": delay},
+                )
+            await self.sim.sleep(delay)
 
     def _wrap_external_call(
         self, instance: InferletInstance, inner: SimFuture

@@ -1,0 +1,207 @@
+"""Shard health, failover, and SLO-driven brownout (the chaos plane's cure).
+
+Two controllers live here, both built only when their knob is on and both
+following the optional-hook contract (off = not constructed, no call site
+reaches them, serving path bit-identical):
+
+:class:`ShardHealthService` (``ControlLayerConfig.faults``)
+    A virtual-clock heartbeat — the monitor's poke/re-arm timer pattern —
+    probes every shard index each ``heartbeat_interval_ms`` and keeps a
+    per-index state machine: ``healthy`` → ``degraded`` (a slowdown fault
+    window is open) → back, or ``healthy`` → ``down`` (fail-stop crash).
+    Shard indexes are node-scoped: a crash at index *i* takes down the
+    device of every served model at that index (the colocated-node
+    interpretation), and the router's ``health_probe`` immediately stops
+    placing new inferlets there.  The transition *to* ``down`` triggers
+    the controller's failover sweep: in-flight KV streams targeting the
+    dead shard re-plan, and every resident inferlet is either
+    re-materialized on a healthy shard (when its committed KV sits wholly
+    in the host tier) or terminated with ``cause="shard_down"``.
+
+:class:`BrownoutController` (``ControlLayerConfig.brownout``)
+    Subscribes to the monitor's burn-rate :class:`~repro.core.slo.AlertEvent`
+    stream.  While any *interactive*-class tenant's alert is firing, the
+    cluster browns out: batch-class admission is shed
+    (``AdmissionRejectedError(reason="brownout")``) and the chunked-prefill
+    token budgets widen by ``brownout_chunk_scale`` so queued interactive
+    prompts drain in fewer slices.  When the last interactive alert
+    clears, both knobs restore.
+
+Detection is deliberately *not* instantaneous: a crashed shard keeps
+failing new submissions with :class:`~repro.errors.FaultInjectedError`
+until the next heartbeat notices — the same detection latency a real
+health checker pays — and every transition lands as an instant in the
+``"fault"`` trace category.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+__all__ = ["SHARD_STATES", "ShardHealthService", "BrownoutController"]
+
+#: Health states a shard index can be in.  ``draining`` is reserved for
+#: operator-initiated removal (placeable() already refuses it).
+SHARD_STATES = ("healthy", "degraded", "draining", "down")
+
+
+class ShardHealthService:
+    """Heartbeat-driven shard state machine and failover trigger."""
+
+    def __init__(self, controller, control) -> None:
+        self.controller = controller
+        self.sim = controller.sim
+        self.heartbeat_s = control.heartbeat_interval_ms / 1e3
+        num = controller.config.gpu.num_devices
+        self.states: Dict[int, str] = {index: "healthy" for index in range(num)}
+        self.probes_taken = 0
+        self._armed = False
+
+    # -- placement probe (installed on every router) -------------------------
+
+    def placeable(self, index: int) -> bool:
+        """May the router place new inferlets on shard ``index``?"""
+        return self.states.get(index, "healthy") not in ("down", "draining")
+
+    def state(self, index: int) -> str:
+        return self.states.get(index, "healthy")
+
+    # -- device access --------------------------------------------------------
+
+    def _devices_at(self, index: int) -> List:
+        """The device of every served model at shard ``index`` (one node)."""
+        devices = []
+        for service in self.controller._services.values():
+            if index < len(service.shards):
+                devices.append(service.shards[index].device)
+        return devices
+
+    # -- fault entry points (called by the FaultInjector) ---------------------
+
+    def inject_shard_crash(self, index: int) -> None:
+        """Fail-stop shard ``index`` across every served model."""
+        for device in self._devices_at(index):
+            device.mark_down()
+        # Detection happens at the next heartbeat, not here: the wound is
+        # instant, the diagnosis pays the probe interval.
+        self.poke()
+
+    def inject_shard_slowdown(self, index: int, multiplier: float, duration_s: float) -> None:
+        """Open a straggler window on shard ``index``; auto-restores."""
+        for device in self._devices_at(index):
+            device.set_fault_multiplier(multiplier)
+        self.sim.schedule(duration_s, self._restore_speed, index)
+        self.poke()
+
+    def _restore_speed(self, index: int) -> None:
+        for device in self._devices_at(index):
+            if not device.down:
+                device.set_fault_multiplier(1.0)
+
+    # -- heartbeat (poke/re-arm, the monitor's timer pattern) ------------------
+
+    def poke(self) -> None:
+        """(Re)arm the heartbeat; no-op if already armed or disabled."""
+        if self.heartbeat_s <= 0 or self._armed:
+            return
+        self._armed = True
+        self.sim.schedule(self.heartbeat_s, self._tick)
+
+    def _tick(self) -> None:
+        self._armed = False
+        self.probes_taken += 1
+        # One probe round records every transition *before* any failover
+        # sweep runs, so a sweep never rescues onto a shard this same
+        # round has already found dead.
+        went_down = []
+        for index in sorted(self.states):
+            observed = self._probe(index)
+            previous = self.states[index]
+            if observed == previous:
+                continue
+            if previous == "down":
+                continue  # fail-stop is terminal in this model
+            self.states[index] = observed
+            trace = self.controller.trace
+            if trace is not None:
+                trace.instant(
+                    f"shard_{observed}",
+                    "fault",
+                    shard=index,
+                    args={"was": previous},
+                )
+            if observed == "down":
+                went_down.append(index)
+        for index in went_down:
+            self.controller._failover_shard(index)
+        if self.controller.concurrent_inferlets > 0:
+            self.poke()
+
+    def _probe(self, index: int) -> str:
+        """One health probe: reads device state, mutates nothing."""
+        devices = self._devices_at(index)
+        if any(device.down for device in devices):
+            return "down"
+        if any(device.fault_multiplier > 1.0 for device in devices):
+            return "degraded"
+        return "healthy"
+
+
+class BrownoutController:
+    """Sheds batch load and widens chunk budgets while interactive SLOs burn."""
+
+    def __init__(self, controller, control) -> None:
+        self.controller = controller
+        self.chunk_scale = control.brownout_chunk_scale
+        self.active = False
+        # The (tenant, signal, window) alerts currently firing for
+        # interactive-class tenants; brownout holds while non-empty.
+        self._firing: Set[Tuple[str, str, int]] = set()
+
+    def on_alert(self, event) -> None:
+        """Monitor alert listener: one burn-rate fire/clear transition."""
+        monitor = self.controller.monitor
+        if monitor.slo.spec_for(event.tenant).priority_class != "interactive":
+            return
+        key = (event.tenant, event.signal, event.window)
+        if event.kind == "fire":
+            self._firing.add(key)
+            if not self.active:
+                self._activate(event)
+        else:
+            self._firing.discard(key)
+            if self.active and not self._firing:
+                self._deactivate(event)
+
+    def _set_chunk_scale(self, scale: float) -> None:
+        for service in self.controller._services.values():
+            for shard in service.shards:
+                shard.scheduler.set_chunk_scale(scale)
+
+    def _activate(self, event) -> None:
+        self.active = True
+        controller = self.controller
+        if controller.qos is not None:
+            controller.qos.set_brownout(True)
+        self._set_chunk_scale(self.chunk_scale)
+        controller.metrics.brownout_activations += 1
+        if controller.trace is not None:
+            controller.trace.instant(
+                "brownout_on",
+                "fault",
+                args={"tenant": event.tenant, "signal": event.signal},
+            )
+
+    def _deactivate(self, event) -> None:
+        self.active = False
+        controller = self.controller
+        if controller.qos is not None:
+            controller.qos.set_brownout(False)
+        self._set_chunk_scale(1.0)
+        controller.metrics.brownout_clears += 1
+        if controller.trace is not None:
+            controller.trace.instant(
+                "brownout_off",
+                "fault",
+                args={"tenant": event.tenant, "signal": event.signal},
+            )

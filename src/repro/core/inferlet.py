@@ -82,6 +82,9 @@ class InferletInstance:
         # already-resolved physical page ids.
         self.in_air_commands: int = 0
         self._terminated_reason: Optional[str] = None
+        # Structured termination cause ("" for ordinary terminations;
+        # e.g. "shard_down" when the chaos plane's failover killed us).
+        self._terminated_cause: str = ""
 
     # -- status ---------------------------------------------------------------
 
@@ -97,17 +100,23 @@ class InferletInstance:
     def terminated_reason(self) -> Optional[str]:
         return self._terminated_reason
 
+    @property
+    def terminated_cause(self) -> str:
+        return self._terminated_cause
+
     # -- termination -------------------------------------------------------------
 
-    def mark_terminated(self, reason: str) -> None:
+    def mark_terminated(self, reason: str, cause: str = "") -> None:
         self._terminated_reason = reason
+        self._terminated_cause = cause
         self.metrics.status = "terminated"
 
     def check_alive(self) -> None:
         """Raise if the instance was terminated (called from API bindings)."""
         if self.metrics.status == "terminated":
             raise InferletTerminated(
-                f"inferlet {self.instance_id} was terminated: {self._terminated_reason}"
+                f"inferlet {self.instance_id} was terminated: {self._terminated_reason}",
+                cause=self._terminated_cause,
             )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

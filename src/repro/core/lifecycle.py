@@ -12,7 +12,12 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import CancelledError, InferletError, InferletTerminated
+from repro.errors import (
+    CancelledError,
+    InferletError,
+    InferletTerminated,
+    ShardUnavailableError,
+)
 from repro.core.api import InferletContext
 from repro.core.config import PieConfig
 from repro.core.controller import Controller
@@ -162,7 +167,8 @@ class InferletLifecycleManager:
             ready.set_exception(
                 InferletTerminated(
                     f"inferlet {instance.instance_id} was terminated before launch: "
-                    f"{instance.terminated_reason}"
+                    f"{instance.terminated_reason}",
+                    cause=instance.terminated_cause,
                 )
             )
 
@@ -205,7 +211,27 @@ class InferletLifecycleManager:
                 )
             ready.set_exception(exc)
             return
-        self.controller.register_inferlet(instance)
+        try:
+            self.controller.register_inferlet(instance)
+        except ShardUnavailableError as exc:
+            # Chaos plane: no healthy shard can take the placement.  Fail
+            # the launch typed; the partial registration is rolled back so
+            # pools and placement maps stay conserved.
+            self.controller.unregister_inferlet(instance)
+            instance.metrics.status = "failed"
+            self.controller.metrics.inferlets_failed += 1
+            if self.controller.qos is not None:
+                self.controller.qos.note_finished(instance)
+            if self.controller.monitor is not None:
+                self.controller.monitor.note_finished(instance)
+            trace = self.controller.trace
+            if trace is not None:
+                trace.end(getattr(instance, "_trace_launch", None), args={"failed": True})
+                trace.end(
+                    getattr(instance, "_trace_lifecycle", None), args={"status": "failed"}
+                )
+            ready.set_exception(exc)
+            return
         instance.metrics.status = "running"
         instance.metrics.started_at = self.sim.now
         self.controller.metrics.launch_latency.observe(self.sim.now - instance.created_at)

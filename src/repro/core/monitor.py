@@ -70,6 +70,9 @@ class MonitorService:
         self._collect_fn: Optional[Callable[[], None]] = None
         self._active_fn: Optional[Callable[[], bool]] = None
         self._armed = False
+        # Alert subscribers (e.g. the chaos plane's BrownoutController),
+        # invoked with each AlertEvent as the scrape tick surfaces it.
+        self._alert_listeners: List[Callable] = []
 
         # Request-path families, created eagerly so exports are stable even
         # before the first observation.
@@ -178,6 +181,10 @@ class MonitorService:
         self._collect_fn = collect_fn
         self._active_fn = active_fn
 
+    def add_alert_listener(self, listener: Callable) -> None:
+        """Subscribe to burn-rate AlertEvents surfaced by the scrape tick."""
+        self._alert_listeners.append(listener)
+
     def poke(self) -> None:
         """(Re)arm the scrape timer; no-op if already armed or disabled."""
         if self.scrape_seconds <= 0:
@@ -202,6 +209,8 @@ class MonitorService:
                 signal=event.signal,
                 window=str(event.window),
             ).set(1.0 if event.kind == "fire" else 0.0)
+            for listener in self._alert_listeners:
+                listener(event)
         for tenant, signals in self.slo.budgets().items():
             for signal, budget in signals.items():
                 self._budget_remaining.labels(tenant=tenant, signal=signal).set(

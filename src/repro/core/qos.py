@@ -217,6 +217,10 @@ class QosService:
         # "admission_queued" span from park to admit/cancel.  None = off.
         self._trace = trace
         self._trace_parked: Dict[str, int] = {}
+        # Chaos-plane brownout (repro.core.health): while True, batch-class
+        # launches are shed at admission so an interactive tenant's burning
+        # SLO budget recovers.  Only the BrownoutController flips this.
+        self._brownout = False
         self._tenants: Dict[str, _TenantState] = {}
         # instance id -> (instance, tenant state); populated at admission.
         self._instances: Dict[str, Tuple["InferletInstance", _TenantState]] = {}
@@ -282,6 +286,23 @@ class QosService:
         """
         state = self._state(instance.tenant)
         now = self.sim.now
+        if self._brownout and state.spec.priority_class == "batch":
+            state.metrics.rejected += 1
+            self.metrics.qos_rejected += 1
+            self.metrics.brownout_shed += 1
+            if self._trace is not None:
+                self._trace.instant(
+                    "admission_rejected",
+                    "admission",
+                    inferlet=instance.instance_id,
+                    args={"tenant": instance.tenant, "reason": "brownout"},
+                )
+            raise AdmissionRejectedError(
+                f"tenant {instance.tenant!r} launch shed: brownout active "
+                "(an interactive SLO budget is burning); retry after it clears",
+                tenant=instance.tenant,
+                reason="brownout",
+            )
         if state.has_slot and not state.wait_queue and state.bucket.try_take(now):
             self._admit(state, instance)
             return "admit"
@@ -570,6 +591,12 @@ class QosService:
         self.metrics.qos_preemption_terminations += 1
         if state is not None:
             state.metrics.preempted_terminations += 1
+
+    # -- brownout ------------------------------------------------------------
+
+    def set_brownout(self, active: bool) -> None:
+        """Flip batch-class load shedding (driven by the BrownoutController)."""
+        self._brownout = active
 
     # -- fair-share placement ------------------------------------------------
 

@@ -1,0 +1,87 @@
+"""Deterministic retry with exponential backoff (the chaos plane's cure).
+
+One :class:`RetryPolicy` per controller, built only when the chaos plane
+is on (``ControlLayerConfig.faults``).  Backoff delays are
+``base * multiplier^attempt`` capped at ``max_backoff``, with
+multiplicative jitter drawn from the policy's **own** seeded
+``np.random.default_rng`` stream — retries consume nothing from the
+simulator's generator, so a chaos run replays bit-identically.
+
+Two guards bound the damage a persistent fault can do:
+
+* an **attempt cap** (``max_attempts`` total tries per operation), and
+* a **per-class budget** (total retries granted per class per run —
+  ``"tool"`` for faulted tool calls, ``"handoff"`` for refused
+  disaggregation handoffs); once a class's budget is spent, operations
+  in it fail fast instead of backing off.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+__all__ = ["RetryPolicy"]
+
+
+class RetryPolicy:
+    """Deterministic exponential backoff with seeded jitter and budgets."""
+
+    def __init__(
+        self,
+        max_attempts: int = 3,
+        base_s: float = 0.010,
+        multiplier: float = 2.0,
+        max_backoff_s: float = 1.0,
+        jitter: float = 0.1,
+        budget: int = 1_000,
+        seed: int = 0,
+    ) -> None:
+        self.max_attempts = max_attempts
+        self.base_s = base_s
+        self.multiplier = multiplier
+        self.max_backoff_s = max_backoff_s
+        self.jitter = jitter
+        self.budget = budget
+        # Private stream: backoff jitter must not perturb the workload rng.
+        self.rng = np.random.default_rng(seed)
+        self._spent: Dict[str, int] = {}
+        # Run totals, readable by tests and the bench harness.
+        self.retries_granted = 0
+        self.retries_denied = 0
+
+    @classmethod
+    def from_config(cls, control, seed: int) -> "RetryPolicy":
+        """Build from the ``retry_*`` knobs of a ControlLayerConfig."""
+        return cls(
+            max_attempts=control.retry_max_attempts,
+            base_s=control.retry_base_ms / 1e3,
+            multiplier=control.retry_multiplier,
+            max_backoff_s=control.retry_max_backoff_ms / 1e3,
+            jitter=control.retry_jitter,
+            budget=control.retry_budget,
+            seed=seed,
+        )
+
+    def spent(self, klass: str) -> int:
+        """Retries already granted to ``klass`` this run."""
+        return self._spent.get(klass, 0)
+
+    def backoff(self, attempt: int, klass: str = "default") -> Optional[float]:
+        """Delay (seconds) before retry number ``attempt + 1``, or None.
+
+        ``attempt`` counts retries already made for this operation (0 on
+        the first failure).  Returns ``None`` — give up — once the
+        operation's attempt cap is reached or the class budget is spent;
+        otherwise charges the budget and returns the jittered delay.
+        """
+        if attempt + 1 >= self.max_attempts or self.spent(klass) >= self.budget:
+            self.retries_denied += 1
+            return None
+        self._spent[klass] = self.spent(klass) + 1
+        self.retries_granted += 1
+        delay = min(self.base_s * (self.multiplier ** attempt), self.max_backoff_s)
+        if self.jitter > 0.0:
+            delay *= 1.0 + self.jitter * float(self.rng.uniform(-1.0, 1.0))
+        return delay

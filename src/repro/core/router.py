@@ -40,7 +40,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
 
-from repro.errors import ReproError, SchedulingError
+from repro.errors import ReproError, SchedulingError, ShardUnavailableError
 from repro.core.config import PLACEMENT_POLICIES
 from repro.core.handlers import ApiHandlers
 from repro.core.resources import ResourceManager
@@ -107,6 +107,7 @@ class Router:
         placement_weight: Optional[Callable[[str], float]] = None,
         prefill_shards: int = 0,
         trace=None,
+        health_probe: Optional[Callable[[int], bool]] = None,
     ) -> None:
         if not shards:
             raise ReproError("router needs at least one shard")
@@ -117,6 +118,12 @@ class Router:
         self.shards = list(shards)
         self.policy = policy
         self.is_swapped = is_swapped
+        # Chaos plane (repro.core.health): shard-index predicate reporting
+        # whether a shard may receive new placements.  None — the off-knob
+        # path — keeps every policy's arithmetic untouched; installed, any
+        # shard the probe rejects (down or draining) is skipped, and an
+        # empty eligible set raises ShardUnavailableError.
+        self.health_probe = health_probe
         # QoS fair share (repro.core.qos): per-instance occupancy weight for
         # least_loaded placement — better-class inferlets count heavier, so
         # interactive tenants spread across shards instead of queueing
@@ -248,10 +255,19 @@ class Router:
 
     # -- policy implementations -------------------------------------------------
 
+    def _placeable(self, index: int) -> bool:
+        return self.health_probe is None or self.health_probe(index)
+
     def _place_round_robin(self) -> int:
-        index = self._rr_next % len(self.shards)
-        self._rr_next += 1
-        return index
+        # Advance the cursor past unplaceable shards (at most one full lap)
+        # so a crashed shard drops out of the rotation without disturbing
+        # the order the survivors are visited in.
+        for _ in range(len(self.shards)):
+            index = self._rr_next % len(self.shards)
+            self._rr_next += 1
+            if self._placeable(index):
+                return index
+        raise ShardUnavailableError("no healthy shard available for placement")
 
     def _place_least_loaded(
         self,
@@ -274,6 +290,10 @@ class Router:
         if restrict is not None:
             allowed = set(restrict)
             eligible = [shard for shard in self.shards if shard.index in allowed]
+        if self.health_probe is not None:
+            eligible = [shard for shard in eligible if self.health_probe(shard.index)]
+            if not eligible:
+                raise ShardUnavailableError("no healthy shard available for placement")
         return min(
             eligible,
             key=lambda shard: (occupancy[shard.index], shard.pending_work, shard.index),
@@ -287,7 +307,7 @@ class Router:
         # hotspot the least_loaded fallback is meant to prevent.
         if hint:
             for shard in self.shards:
-                if shard.resources.has_export(hint):
+                if shard.resources.has_export(hint) and self._placeable(shard.index):
                     return shard.index
         # With the automatic prefix cache on, a declared prompt prefix
         # (InferletProgram.prefix_hint) is scored by longest page-aligned
@@ -300,7 +320,7 @@ class Router:
             scores = {}
             for shard in self.shards:
                 cache = shard.prefix_cache
-                if cache is None or not cache.enabled:
+                if cache is None or not cache.enabled or not self._placeable(shard.index):
                     continue
                 matched = cache.match_len(prefix_tokens)
                 if matched > 0:
@@ -329,18 +349,18 @@ class Router:
         prefill = list(range(self.prefill_shards))
         if hint:
             for index in prefill:
-                if self.shards[index].resources.has_export(hint):
+                if self.shards[index].resources.has_export(hint) and self._placeable(index):
                     return index
         if prefix_tokens:
             hint_key = tuple(prefix_tokens)
             self._instance_hints[instance_id] = hint_key
             remembered = self._hint_shard.get(hint_key)
-            if remembered is not None:
+            if remembered is not None and self._placeable(remembered):
                 return remembered
             scores = {}
             for index in prefill:
                 cache = self.shards[index].prefix_cache
-                if cache is None or not cache.enabled:
+                if cache is None or not cache.enabled or not self._placeable(index):
                     continue
                 matched = cache.match_len(prefix_tokens)
                 if matched > 0:

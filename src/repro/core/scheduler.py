@@ -151,7 +151,16 @@ class BatchScheduler:
         # are emitted at batch completion, all read-only.
         self._trace = trace
         self._shard_index = shard_index
+        # Brownout widening (repro.core.health): multiplies the chunked-
+        # prefill token budgets while an interactive SLO budget burns, so
+        # prompts drain in fewer, larger slices.  1.0 — the permanent value
+        # with the chaos plane off — leaves batch formation untouched.
+        self.chunk_scale = 1.0
         self.device.on_idle(self._on_device_idle)
+
+    def set_chunk_scale(self, scale: float) -> None:
+        """Scale the chunked-prefill token budgets (brownout widening)."""
+        self.chunk_scale = scale
 
     def set_dispatch_guard(self, is_suspended: Optional[Callable[[str], bool]]) -> None:
         """Install a predicate barring suspended owners from dispatch."""
@@ -363,6 +372,9 @@ class BatchScheduler:
                 self.control_config.max_batch_tokens or self.gpu_config.max_batch_tokens
             )
             prefill_chunk_tokens = self.control_config.prefill_chunk_tokens
+            if self.chunk_scale != 1.0:
+                max_batch_tokens = int(max_batch_tokens * self.chunk_scale)
+                prefill_chunk_tokens = int(prefill_chunk_tokens * self.chunk_scale)
             future_factory = lambda: self.sim.create_future(name="prefill-chunk")
         return form_candidate_batches(
             self._dispatchable_queues(),

@@ -67,6 +67,12 @@ class PieServer:
         scrape_interval_ms: Optional[float] = None,
         slo_target: Optional[float] = None,
         slo_burn_windows: Optional[Sequence[Sequence[float]]] = None,
+        faults: Optional[bool] = None,
+        fault_seed: Optional[int] = None,
+        fault_plan: Optional[Sequence[Sequence]] = None,
+        heartbeat_interval_ms: Optional[float] = None,
+        brownout: Optional[bool] = None,
+        brownout_chunk_scale: Optional[float] = None,
     ) -> None:
         self.sim = sim
         config = config or PieConfig()
@@ -162,6 +168,46 @@ class PieServer:
             if monitoring is not None:
                 overrides["monitoring"] = monitoring
             config = replace(config, control=replace(config.control, **overrides))
+        if (
+            faults is not None
+            or fault_seed is not None
+            or fault_plan is not None
+            or heartbeat_interval_ms is not None
+        ):
+            # Combined replace: tuning any chaos knob implies faults=True
+            # (config validation rejects fault_plan without faults).
+            overrides = {}
+            if fault_seed is not None:
+                overrides["fault_seed"] = fault_seed
+                if faults is None:
+                    faults = True
+            if fault_plan is not None:
+                overrides["fault_plan"] = tuple(tuple(entry) for entry in fault_plan)
+                if faults is None:
+                    faults = True
+            if heartbeat_interval_ms is not None:
+                overrides["heartbeat_interval_ms"] = heartbeat_interval_ms
+                if faults is None:
+                    faults = True
+            if faults is not None:
+                overrides["faults"] = faults
+            config = replace(config, control=replace(config.control, **overrides))
+        if brownout is not None or brownout_chunk_scale is not None:
+            # Combined replace: brownout subscribes to the monitor's burn-rate
+            # alerts and sheds through the QoS gate, so it implies both
+            # services (config validation rejects brownout without them).
+            overrides = {}
+            if brownout_chunk_scale is not None:
+                overrides["brownout_chunk_scale"] = brownout_chunk_scale
+                if brownout is None:
+                    brownout = True
+            if brownout is not None:
+                overrides["brownout"] = brownout
+                if brownout and not config.control.monitoring:
+                    overrides["monitoring"] = True
+                if brownout and not config.control.qos:
+                    overrides["qos"] = True
+            config = replace(config, control=replace(config.control, **overrides))
         self.config = config
         registry = ModelRegistry(models or ["llama-sim-1b"])
         self.registry = registry
@@ -224,6 +270,10 @@ class PieServer:
             )
         monitor = self.controller.monitor
         document = monitor.snapshot_document()
+        if self.controller.faults is not None:
+            document["faults"] = [
+                dict(record) for record in self.controller.faults.injected
+            ]
         if path is not None:
             target = str(path)
             if target.endswith((".prom", ".txt")):

@@ -136,10 +136,20 @@ class KvTransferScheduler:
         # reclamation path, so the handoff tail competes for destination
         # capacity under exactly the same policy as any allocation.
         self._capacity_hook = None
+        # Chaos plane (repro.core.retry): when installed, refused handoffs
+        # (no destination capacity / no healthy decode shard) are retried
+        # on a backoff timer instead of waiting for the next sample
+        # completion that will never come on a quiescent owner.
+        self._retry = None
+        self._retry_attempts: Dict[str, int] = {}
 
     def bind_capacity_hook(self, hook) -> None:
         """``hook(dst_shard, instance, kv_pages, embeds)`` ensures room."""
         self._capacity_hook = hook
+
+    def set_retry(self, policy) -> None:
+        """Install the chaos plane's RetryPolicy for refused handoffs."""
+        self._retry = policy
 
     # -- controller-facing hooks (submit path) -----------------------------
 
@@ -234,7 +244,12 @@ class KvTransferScheduler:
         if not stream.queued:
             return
         src = self.shards[stream.src_index]
-        dst = self._destination(stream)
+        try:
+            dst = self._destination(stream)
+        except SchedulingError:
+            # No healthy decode shard right now (chaos plane): keep the
+            # pages queued; the next commit or the handoff retries.
+            return
         pids = stream.queued
         stream.queued = []
         dst_pids = dst.memory.kv_pages.allocate(len(pids))
@@ -354,7 +369,17 @@ class KvTransferScheduler:
             for other in self._streams.values():
                 if other.dst_index is not None:
                     inflight[other.dst_index] = inflight.get(other.dst_index, 0.0) + 1.0
-            dst = self.router.choose_decode_shard(extra_occupancy=inflight)
+            try:
+                dst = self.router.choose_decode_shard(extra_occupancy=inflight)
+            except SchedulingError:
+                # Every decode shard is down (chaos plane): back off and
+                # retry — the owner is quiescent, so no further sample
+                # completion will re-trigger the handoff.
+                for entry in staged.values():
+                    entry.consumed = False
+                self.metrics.disagg_handoff_failures += 1
+                self._schedule_retry(instance)
+                return False
         try:
             if self._capacity_hook is not None and (tail or emb_map):
                 self._capacity_hook(dst, instance, len(tail), len(emb_map))
@@ -362,6 +387,7 @@ class KvTransferScheduler:
             for entry in staged.values():
                 entry.consumed = False
             self.metrics.disagg_handoff_failures += 1
+            self._schedule_retry(instance)
             return False
 
         # Tail KV pages: allocate, content-exact copy.  adopt_migrated_space
@@ -452,8 +478,73 @@ class KvTransferScheduler:
                 )
 
         self._streams.pop(owner, None)
+        self._retry_attempts.pop(owner, None)
         self._drop_tracks(owner)
         return True
+
+    # -- chaos plane ----------------------------------------------------------
+
+    def _schedule_retry(self, instance: "InferletInstance") -> None:
+        """Back off and re-attempt a refused handoff (retry policy installed)."""
+        if self._retry is None:
+            return
+        owner = instance.instance_id
+        attempt = self._retry_attempts.get(owner, 0)
+        delay = self._retry.backoff(attempt, "handoff")
+        if delay is None:
+            self.metrics.retries_exhausted += 1
+            self._retry_attempts.pop(owner, None)
+            return
+        self._retry_attempts[owner] = attempt + 1
+        self.metrics.handoff_retries += 1
+        self.metrics.retry_backoff_seconds += delay
+        if self._trace is not None:
+            self._trace.complete(
+                "retry_backoff",
+                "fault",
+                self.sim.now,
+                end=self.sim.now + delay,
+                inferlet=owner,
+                args={"op": "handoff", "attempt": attempt + 1, "delay": delay},
+            )
+        self.sim.schedule(delay, self._retry_handoff, instance)
+
+    def _retry_handoff(self, instance: "InferletInstance") -> None:
+        if instance.finished:
+            self._retry_attempts.pop(instance.instance_id, None)
+            return
+        self.maybe_handoff(instance)
+
+    def on_shard_down(self, index: int) -> None:
+        """Re-plan streams targeting a dead decode shard.
+
+        Staged destination pages are unpinned back to the dead shard's
+        free pool (pool conservation: device death does not destroy the
+        paged cache bookkeeping), clean staged source pages re-queue for
+        streaming to a fresh destination chosen at the next flush, and
+        dirtied ones fall back to the handoff's synchronous tail copy.
+        """
+        for owner in sorted(self._streams):
+            stream = self._streams[owner]
+            if stream.dst_index != index:
+                continue
+            dst = self.shards[index]
+            requeue = [pid for pid, entry in sorted(stream.staged.items()) if entry.clean]
+            for entry in stream.staged.values():
+                dst.resources.unpin_kv(entry.dst_pid)
+            stream.staged = {}
+            already = set(stream.queued)
+            stream.queued = [pid for pid in requeue if pid not in already] + stream.queued
+            stream.dst_index = None
+            stream.link_ready = 0.0
+            self.metrics.disagg_replans += 1
+            if self._trace is not None:
+                self._trace.instant(
+                    "kv_stream_replan",
+                    "fault",
+                    inferlet=owner,
+                    args={"dead_shard": index, "requeued_pages": len(requeue)},
+                )
 
     def _quiescent(self, instance: "InferletInstance", src: "DeviceShard") -> bool:
         """No command of the owner is anywhere between issue and retire."""
@@ -486,6 +577,7 @@ class KvTransferScheduler:
             dst = self.shards[stream.dst_index]
             for entry in stream.staged.values():
                 dst.resources.unpin_kv(entry.dst_pid)
+        self._retry_attempts.pop(owner, None)
         self._drop_tracks(owner)
 
     def _drop_tracks(self, owner: str) -> None:

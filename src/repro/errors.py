@@ -34,17 +34,28 @@ class InferletError(ReproError):
 
 class InferletTerminated(InferletError):
     """Raised inside an inferlet that was forcibly terminated (e.g. FCFS
-    resource reclamation or an explicit abort)."""
+    resource reclamation, shard failure or an explicit abort).
+
+    ``cause`` is a short machine-readable tag (``"reclaimed"``,
+    ``"shard_down"``, ``"client_abort"``, ... — empty when unknown) so
+    tests and clients can assert *why* an inferlet died without parsing
+    the human-readable message."""
+
+    def __init__(self, message: str, cause: str = "") -> None:
+        super().__init__(message)
+        self.cause = cause
 
 
 class AdmissionRejectedError(ReproError):
     """Raised when QoS admission control rejects an inferlet launch
-    (tenant over its rate/concurrency budget with a full admission queue).
+    (tenant over its rate/concurrency budget with a full admission queue,
+    or load shed during an SLO brownout — see ``reason``).
     Typed so clients can distinguish shed load from real failures."""
 
-    def __init__(self, message: str, tenant: str = "") -> None:
+    def __init__(self, message: str, tenant: str = "", reason: str = "") -> None:
         super().__init__(message)
         self.tenant = tenant
+        self.reason = reason
 
 
 class TraitNotSupportedError(ReproError):
@@ -53,6 +64,37 @@ class TraitNotSupportedError(ReproError):
 
 class SchedulingError(ReproError):
     """Raised for invalid batch-scheduler configurations or states."""
+
+
+class FaultInjectedError(ReproError):
+    """Raised when the chaos plane (:mod:`repro.sim.faults`) injects a
+    failure into an operation: a tool call hitting an injected timeout or
+    error window, or a command landing on a crashed device shard.
+    ``kind`` names the injected fault type (``"tool_error"``,
+    ``"tool_timeout"``, ``"shard_crash"``, ...)."""
+
+    def __init__(self, message: str, kind: str = "") -> None:
+        super().__init__(message)
+        self.kind = kind
+
+
+class ShardUnavailableError(SchedulingError):
+    """Raised by the cluster router when placement (or a disaggregation
+    handoff) finds no healthy shard to land on: every candidate is marked
+    ``down``/``draining`` by the shard health service.  Subclasses
+    :class:`SchedulingError` so existing placement-failure handling still
+    applies."""
+
+
+class RetriesExhaustedError(ReproError):
+    """Raised when a :class:`repro.core.retry.RetryPolicy` gives up on an
+    operation: the attempt cap was hit or the per-class retry budget ran
+    out while the underlying fault persisted.  ``attempts`` counts the
+    tries that were made (including the first)."""
+
+    def __init__(self, message: str, attempts: int = 0) -> None:
+        super().__init__(message)
+        self.attempts = attempts
 
 
 class GrammarError(ReproError):

@@ -20,7 +20,7 @@ from typing import Any, Callable, Deque, List, Optional
 
 from collections import deque
 
-from repro.errors import SimulationError
+from repro.errors import FaultInjectedError, SimulationError
 from repro.sim.futures import SimFuture
 from repro.sim.simulator import Simulator
 
@@ -63,12 +63,33 @@ class SimDevice:
         self._busy = False
         self._idle_callbacks: List[Callable[[], None]] = []
         self.stats = DeviceStats()
+        # Chaos plane (repro.sim.faults): a crashed device is fail-stop for
+        # new work — submissions resolve with FaultInjectedError after zero
+        # cost; batches already accepted drain normally (their results are
+        # discarded when the failover sweep terminates their owners).  The
+        # cost multiplier models a straggler: >1 while a shard_slowdown
+        # fault window is open.
+        self.down = False
+        self.down_since: Optional[float] = None
+        self.fault_multiplier = 1.0
 
     # -- state ----------------------------------------------------------------
 
     @property
     def busy(self) -> bool:
         return self._busy
+
+    # -- fault injection --------------------------------------------------------
+
+    def mark_down(self) -> None:
+        """Fail-stop the device (injected shard crash)."""
+        if not self.down:
+            self.down = True
+            self.down_since = self.sim.now
+
+    def set_fault_multiplier(self, multiplier: float) -> None:
+        """Scale future batch costs (injected slowdown; 1.0 restores)."""
+        self.fault_multiplier = multiplier
 
     @property
     def queue_depth(self) -> int:
@@ -105,6 +126,18 @@ class SimDevice:
         if cost_seconds < 0:
             raise SimulationError("device batch cost must be non-negative")
         future = self.sim.create_future(name=f"{self.name}:{kind}")
+        if self.down:
+            self.sim.schedule(
+                0.0,
+                future.set_exception,
+                FaultInjectedError(
+                    f"device {self.name} is down (injected shard crash)",
+                    kind="shard_crash",
+                ),
+            )
+            return future
+        if self.fault_multiplier != 1.0:
+            cost_seconds *= self.fault_multiplier
         batch = DeviceBatch(
             kind=kind,
             run=run,

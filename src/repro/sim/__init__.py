@@ -19,6 +19,7 @@ from repro.sim.tasks import Task
 from repro.sim.simulator import Simulator
 from repro.sim.latency import LatencyModel, ConstantLatency, UniformLatency, NormalLatency
 from repro.sim.network import NetworkLink
+from repro.sim.faults import FAULT_KINDS, FaultInjector, FaultPlan
 
 __all__ = [
     "SimFuture",
@@ -29,4 +30,7 @@ __all__ = [
     "UniformLatency",
     "NormalLatency",
     "NetworkLink",
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultPlan",
 ]

@@ -51,6 +51,12 @@ class NetworkLink:
         # Flight recorder hook: called with (link, start, end, size_bytes)
         # for every reservation.  None (the default) costs one comparison.
         self._tracer: Optional[Callable[["NetworkLink", float, float, int], None]] = None
+        # Chaos plane (repro.sim.faults): extra one-way latency while a
+        # link_spike fault window is open.  Pure arithmetic — no rng draws
+        # beyond the latency model's own, so injecting a fault never
+        # shifts the simulator's random stream.
+        self.fault_extra_delay = 0.0
+        self.faults_injected = 0
 
     def set_tracer(
         self, tracer: Optional[Callable[["NetworkLink", float, float, int], None]]
@@ -59,7 +65,20 @@ class NetworkLink:
         self._tracer = tracer
 
     def one_way_delay(self) -> float:
-        return self.latency.sample(self.sim.rng)
+        return self.latency.sample(self.sim.rng) + self.fault_extra_delay
+
+    # -- fault injection ----------------------------------------------------
+
+    def inject_outage(self, now: float, duration_s: float) -> None:
+        """Busy the wire out for ``duration_s`` (an injected link flap)."""
+        self._busy_until = max(self._busy_until, now + duration_s)
+        self.faults_injected += 1
+
+    def inject_delay(self, extra_s: float) -> None:
+        """Add one-way latency (injected spike; negative restores it)."""
+        self.fault_extra_delay = max(0.0, self.fault_extra_delay + extra_s)
+        if extra_s > 0:
+            self.faults_injected += 1
 
     def transfer_seconds(self, size_bytes: int) -> float:
         """Wire occupancy of one payload (bandwidth term only)."""

@@ -7,7 +7,9 @@ when, and how much of each tenant's error budget is left.
 
 The JSON document carries the full alert history (every fire/clear
 transition with its burn rates), so its timeline has exact virtual
-timestamps.  The Prometheus exposition is a point-in-time scrape; from it
+timestamps; when the chaos plane was on, the injected-fault record rides
+along and the report interleaves each fault instant with the alerts it
+provoked.  The Prometheus exposition is a point-in-time scrape; from it
 the report reconstructs transition *totals* (``pie_slo_alerts_total``),
 currently-firing rules (``pie_slo_alert_active``) and the budget table
 (``pie_slo_events_total`` / ``pie_slo_budget_remaining``).
@@ -245,6 +247,7 @@ def build_report(document: dict) -> dict:
         "now": document.get("now"),
         "scrapes": document.get("scrapes"),
         "alert_timeline": _alert_timeline(document),
+        "faults": list(document.get("faults", [])),
         "active_alerts": _active_alerts(document),
         "budgets": _budget_table(document),
     }
@@ -268,8 +271,22 @@ def render_report(report: dict) -> str:
         lines.append("")
     lines.append("alert timeline:")
     timeline = report["alert_timeline"]
-    if not timeline:
+    faults = report.get("faults", [])
+    if not timeline and not faults:
         lines.append("  (no alert transitions)")
+    # Interleave injected-fault instants with alert fires by virtual time
+    # so an on-call reads cause -> effect top to bottom.
+    entries: List[Tuple[float, int, str]] = []
+    for fault in faults:
+        detail = ", ".join(str(field) for field in fault["entry"][2:])
+        entries.append(
+            (
+                fault["time"],
+                0,
+                f"  t={fault['time']:.3f}s FAULT {fault['kind']}"
+                + (f" ({detail})" if detail else ""),
+            )
+        )
     for row in timeline:
         if "count" in row:  # Prometheus totals, no timestamps
             lines.append(
@@ -283,12 +300,18 @@ def render_report(report: dict) -> str:
                 if row["cleared_at"] is not None
                 else "STILL FIRING"
             )
-            lines.append(
-                f"  t={row['time']:.3f}s FIRE {row['tenant']}/{row['signal']} "
-                f"window {row['window']} ({row['long_s']:g}s/{row['short_s']:g}s "
-                f"x{row['threshold']:g}) burn long={row['burn_long']:.2f} "
-                f"short={row['burn_short']:.2f} -> {cleared}"
+            entries.append(
+                (
+                    row["time"],
+                    1,
+                    f"  t={row['time']:.3f}s FIRE {row['tenant']}/{row['signal']} "
+                    f"window {row['window']} ({row['long_s']:g}s/{row['short_s']:g}s "
+                    f"x{row['threshold']:g}) burn long={row['burn_long']:.2f} "
+                    f"short={row['burn_short']:.2f} -> {cleared}",
+                )
             )
+    for _, _, line in sorted(entries, key=lambda item: (item[0], item[1])):
+        lines.append(line)
     active = report["active_alerts"]
     lines.append("")
     lines.append(f"active alerts: {len(active)}")

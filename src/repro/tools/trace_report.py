@@ -9,6 +9,12 @@ latency went:
     Faulted in from host memory (``swap_stall`` spans).
 ``transfer``
     KV-page streaming and disaggregation handoff stalls.
+``relaunch``
+    Dead time between a shard crash and the inferlet's re-materialization
+    on a healthy shard (the failover sweep's rescue window).
+``retry_backoff``
+    Waiting out the retry policy's jittered backoff after an injected
+    tool fault or a refused disaggregation handoff.
 ``prefill`` / ``decode`` / ``compute``
     Forward execution on a device (prompt rows, single-token rows, and
     everything else — embeds, KV maintenance commands).
@@ -26,7 +32,8 @@ latency went:
     and the first queue span).
 
 Overlapping spans are resolved by a fixed priority sweep (swap > transfer
-> prefill > decode > compute > queue > admission): each instant of an
+> relaunch > retry_backoff > prefill > decode > compute > queue >
+admission): each instant of an
 inferlet's lifetime is attributed to exactly one bucket, so the buckets
 sum to the launch-to-finish latency (within float rounding).
 
@@ -58,6 +65,8 @@ __all__ = [
 CATEGORY_PRIORITY = (
     "swap",
     "transfer",
+    "relaunch",
+    "retry_backoff",
     "prefill",
     "decode",
     "compute",
@@ -133,6 +142,11 @@ def _bucket_of(event: dict) -> Optional[str]:
         if name in ("prefill", "decode"):
             return name
         return "compute"
+    if cat == "fault":
+        name = event.get("name")
+        if name in ("relaunch", "retry_backoff"):
+            return name
+        return None  # fault instants (crashes, brownout edges) have no span
     return None  # lifecycle / sched / net / counter: not inferlet stall time
 
 

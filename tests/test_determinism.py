@@ -44,6 +44,9 @@ def run_stack(
     disagg=False,
     tracing=False,
     monitoring=False,
+    faults=False,
+    fault_plan=(),
+    fault_seed=0,
 ):
     """Cluster of 2 devices + host KV tier + prefix cache, staggered fleet.
 
@@ -61,6 +64,9 @@ def run_stack(
     perturbing: tokens, metrics and virtual timestamps stay bit-identical
     to the tracing-off run.  ``monitoring=True`` turns on the live SLO
     monitoring plane (repro.core.monitor) under the same contract.
+    ``faults=True`` arms the chaos plane (repro.sim.faults +
+    repro.core.health): the seeded ``fault_plan`` replays bit-identically,
+    and ``faults=False`` must construct none of the chaos machinery.
     """
     sim = Simulator(seed=seed)
     tenants = (
@@ -86,6 +92,9 @@ def run_stack(
             max_batch_tokens=24,
             tracing=tracing,
             monitoring=monitoring,
+            faults=faults,
+            fault_seed=fault_seed,
+            fault_plan=tuple(tuple(entry) for entry in fault_plan),
         ),
     )
     server = PieServer(sim, config=config)
@@ -335,6 +344,97 @@ def test_monitoring_on_is_bit_identical_run_to_run():
     assert first["metrics"] == second["metrics"]
     assert first["monitor_scrapes"] == second["monitor_scrapes"]
     assert first["monitor_snapshot"] == second["monitor_snapshot"]
+
+
+CHAOS_PLAN = (
+    # One straggler window, one tool-error window, then a fail-stop crash
+    # of shard 0 — where cache affinity clusters the fleet — while the
+    # staggered launches are still mid-flight, forcing a failover sweep.
+    ("shard_slowdown", 0.3, 1, 3.0, 0.4),
+    ("tool_error", 0.6, 0.4, TOOL_URL),
+    ("shard_crash", 0.5, 0),
+)
+
+
+def test_faults_off_default_is_inert():
+    """faults=False (the default) constructs none of the chaos machinery:
+    no injector, no health service, no retry policy, no router probe —
+    and the chaos counters stay zero on the full-stack run."""
+    sim = Simulator(seed=1)
+    server = PieServer(sim, num_devices=2)
+    controller = server.controller
+    assert controller.faults is None
+    assert controller.health is None
+    assert controller.retry is None
+    assert controller.brownout is None
+    for service in controller._services.values():
+        assert service.router.health_probe is None
+    run = run_stack(qos=True, chunked=True, disagg=True, monitoring=True)
+    for counter in (
+        "faults_injected",
+        "shard_crashes",
+        "shard_slowdowns",
+        "link_faults",
+        "tool_faults",
+        "failover_terminations",
+        "failover_relaunches",
+        "tool_retries",
+        "handoff_retries",
+        "retries_exhausted",
+        "brownout_activations",
+        "brownout_shed",
+    ):
+        assert run["metrics"][counter] == 0, counter
+
+
+def test_faults_on_with_empty_plan_does_not_perturb():
+    """Arming the chaos plane with nothing scheduled observes without
+    perturbing: the heartbeat probes and the retry-aware tool path leave
+    tokens, metrics and virtual timestamps bit-identical to faults=off."""
+    on = run_stack(qos=True, chunked=True, disagg=True, monitoring=True, faults=True)
+    off = run_stack(qos=True, chunked=True, disagg=True, monitoring=True, faults=False)
+    assert on["now"] == off["now"]
+    assert on["results"] == off["results"]
+    assert on["metrics"] == off["metrics"]
+
+
+def test_chaos_replay_is_bit_identical():
+    """The same (fault_seed, fault_plan) replays bit-identically: two
+    seeded chaos runs — crash, straggler window, tool-error window — agree
+    on every metric, timestamp and surviving token."""
+    first = run_stack(
+        qos=True, chunked=True, monitoring=True, faults=True, fault_plan=CHAOS_PLAN
+    )
+    second = run_stack(
+        qos=True, chunked=True, monitoring=True, faults=True, fault_plan=CHAOS_PLAN
+    )
+    assert first["now"] == second["now"]
+    assert first["results"] == second["results"]
+    assert first["metrics"] == second["metrics"]
+    # The plan actually fired and the cluster actually reacted.
+    assert first["metrics"]["faults_injected"] == len(CHAOS_PLAN)
+    assert first["metrics"]["shard_crashes"] == 1
+    assert first["metrics"]["shard_slowdowns"] == 1
+    assert first["metrics"]["tool_faults"] > 0
+    assert first["metrics"]["tool_retries"] > 0
+    assert (
+        first["metrics"]["failover_terminations"]
+        + first["metrics"]["failover_relaunches"]
+        > 0
+    )
+
+
+def test_chaos_link_faults_replay_bit_identically_under_disagg():
+    """Link flaps and latency spikes against the disaggregated KV stream
+    replay bit-identically and are actually counted."""
+    plan = (("link_spike", 0.25, 0.002, 0.5), ("link_flap", 0.8, 0.05))
+    first = run_stack(disagg=True, faults=True, fault_plan=plan)
+    second = run_stack(disagg=True, faults=True, fault_plan=plan)
+    assert first["now"] == second["now"]
+    assert first["results"] == second["results"]
+    assert first["metrics"] == second["metrics"]
+    assert first["metrics"]["link_faults"] > 0
+    assert first["metrics"]["disagg_handoffs"] > 0
 
 
 def test_disagg_composed_with_qos_and_chunked_is_bit_identical():

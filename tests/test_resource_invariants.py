@@ -12,6 +12,14 @@ conservation checked after every step:
 Deliberately illegal operations (double free, foreign handles, imports of
 unknown exports) are also thrown in and must raise ``ResourceError``
 without perturbing any invariant.
+
+The harness models the chaos plane's failure modes too: it runs *two*
+device managers over one shared host pool (the per-node host tier), and
+the op mix includes the crash-relaunch migration the failover sweep
+performs (detach a fully swapped space from a dead device, adopt it on
+the survivor with fresh embed slots) and the transient pin/unpin
+sequence the transfer scheduler applies to staged pages when a
+destination shard dies mid-stream.
 """
 
 import random
@@ -32,7 +40,7 @@ HOST_CAPACITY = 16
 N_OPS = 500
 
 
-def build_manager():
+def build_manager(host_pool=None):
     config = ModelRegistry(["llama-sim-1b"]).get("llama-sim-1b").config
     gpu = GpuConfig(
         num_kv_pages=KV_CAPACITY,
@@ -40,28 +48,46 @@ def build_manager():
         host_kv_pages=HOST_CAPACITY,
     )
     memory = DeviceMemory(config, gpu)
-    host_pool = HostMemoryPool(config, gpu)
+    host_pool = host_pool or HostMemoryPool(config, gpu)
     return ResourceManager(memory, model_name="llama-sim-1b", host_pool=host_pool)
 
 
 class Harness:
-    """Shadow state + weighted random operations over one ResourceManager."""
+    """Shadow state + weighted random operations over two ResourceManagers.
+
+    Two "devices" share one host pool, exactly as a service's shards
+    share the per-node host tier; ``home`` tracks which device each
+    owner's space currently lives on so the crash-relaunch op can move
+    fully swapped spaces between them.
+    """
 
     def __init__(self, seed: int) -> None:
         self.rng = random.Random(seed)
-        self.rm = build_manager()
+        self.rm0 = build_manager()
+        self.rm1 = build_manager(host_pool=self.rm0.host_pool)
+        self.home = {}  # owner -> the ResourceManager holding its space
         self.kv = {}  # owner -> list of live KvPage handles
         self.emb = {}  # owner -> list of live Embed handles
-        self.exports = []  # export names currently live
+        self.exports = []  # (name, rm) pairs currently live
         self.next_owner = 0
         self.next_export = 0
+
+    @property
+    def rm(self):
+        """The primary device (kept for assertions in older tests)."""
+        return self.rm0
+
+    def _rm(self, owner):
+        return self.home[owner]
 
     # -- operations --------------------------------------------------------
 
     def op_create_space(self):
         owner = f"inferlet-{self.next_owner}"
         self.next_owner += 1
-        self.rm.create_space(owner)
+        rm = self.rng.choice((self.rm0, self.rm1))
+        rm.create_space(owner)
+        self.home[owner] = rm
         self.kv[owner] = []
         self.emb[owner] = []
 
@@ -69,7 +95,8 @@ class Harness:
         owner = self._pick_owner()
         if owner is None:
             return
-        self.rm.destroy_space(owner)
+        self._rm(owner).destroy_space(owner)
+        del self.home[owner]
         del self.kv[owner]
         del self.emb[owner]
 
@@ -79,7 +106,7 @@ class Harness:
             return
         count = self.rng.randint(1, 4)
         try:
-            self.kv[owner].extend(self.rm.alloc_kv_pages(owner, count))
+            self.kv[owner].extend(self._rm(owner).alloc_kv_pages(owner, count))
         except OutOfResourcesError:
             pass  # legal refusal; invariants must still hold
 
@@ -92,14 +119,16 @@ class Harness:
             self.kv[owner].pop(self.rng.randrange(len(self.kv[owner])))
             for _ in range(count)
         ]
-        self.rm.dealloc_kv_pages(owner, victims)
+        self._rm(owner).dealloc_kv_pages(owner, victims)
 
     def op_alloc_emb(self):
         owner = self._pick_owner()
         if owner is None:
             return
         try:
-            self.emb[owner].extend(self.rm.alloc_embeds(owner, self.rng.randint(1, 3)))
+            self.emb[owner].extend(
+                self._rm(owner).alloc_embeds(owner, self.rng.randint(1, 3))
+            )
         except OutOfResourcesError:
             pass
 
@@ -108,75 +137,121 @@ class Harness:
         if owner is None or not self.emb[owner]:
             return
         handle = self.emb[owner].pop(self.rng.randrange(len(self.emb[owner])))
-        self.rm.dealloc_embeds(owner, [handle])
+        self._rm(owner).dealloc_embeds(owner, [handle])
 
     def op_export(self):
         owner = self._pick_owner()
         if owner is None or not self.kv[owner]:
             return
-        resident = [
-            h for h in self.kv[owner] if h.vid in self.rm._spaces[owner].kv_map
-        ]
+        rm = self._rm(owner)
+        resident = [h for h in self.kv[owner] if h.vid in rm._spaces[owner].kv_map]
         if not resident:
             return
         count = self.rng.randint(1, min(3, len(resident)))
         name = f"export-{self.next_export}"
         self.next_export += 1
-        self.rm.export_kv_pages(owner, self.rng.sample(resident, count), name)
-        self.exports.append(name)
+        rm.export_kv_pages(owner, self.rng.sample(resident, count), name)
+        self.exports.append((name, rm))
 
     def op_import(self):
         owner = self._pick_owner()
-        if owner is None or not self.exports:
+        if owner is None:
             return
-        name = self.rng.choice(self.exports)
-        self.kv[owner].extend(self.rm.import_kv_pages(owner, name))
+        rm = self._rm(owner)
+        local = [name for name, export_rm in self.exports if export_rm is rm]
+        if not local:
+            return
+        name = self.rng.choice(local)
+        self.kv[owner].extend(rm.import_kv_pages(owner, name))
 
     def op_release_export(self):
         if not self.exports:
             return
-        name = self.exports.pop(self.rng.randrange(len(self.exports)))
-        self.rm.release_export(name)
+        name, rm = self.exports.pop(self.rng.randrange(len(self.exports)))
+        rm.release_export(name)
 
     def op_swap_out(self):
         owner = self._pick_owner()
         if owner is None:
             return
-        self.rm.swap_out_kv(owner)
+        self._rm(owner).swap_out_kv(owner)
 
     def op_swap_in(self):
         owner = self._pick_owner()
         if owner is None:
             return
-        if self.rm.kv_pages_swapped_by(owner) <= self.rm.kv_pages_free:
-            self.rm.swap_in_kv(owner)
+        rm = self._rm(owner)
+        if rm.kv_pages_swapped_by(owner) <= rm.kv_pages_free:
+            rm.swap_in_kv(owner)
+
+    def op_pin_unpin(self):
+        """The transfer scheduler's staged-page sequence under shard death:
+        pin a resident page (staging), then unpin it (stream re-plan)."""
+        owner = self._pick_owner()
+        if owner is None:
+            return
+        rm = self._rm(owner)
+        resident = sorted(rm._spaces[owner].kv_map.values())
+        if not resident:
+            return
+        pid = self.rng.choice(resident)
+        before = rm.kv_refcount(pid)
+        rm.pin_kv(pid)
+        assert rm.kv_refcount(pid) == before + 1
+        rm.unpin_kv(pid)
+        assert rm.kv_refcount(pid) == before
+
+    def op_crash_relaunch(self):
+        """The failover sweep's rescue: a fully swapped space detaches
+        from its (dead) device and is adopted on the other one, swapped
+        host slots moving as-is and embed slots re-provisioned fresh."""
+        owner = self._pick_owner()
+        if owner is None:
+            return
+        src = self._rm(owner)
+        dst = self.rm1 if src is self.rm0 else self.rm0
+        src.swap_out_kv(owner)  # stage whatever is exclusively owned
+        if src.kv_mapping(owner):
+            return  # shared/unswappable pages keep it device-resident
+        emb_vids = sorted(src.emb_mapping(owner))
+        if dst.memory.embeds.num_free < len(emb_vids):
+            return
+        _, _, swapped_kv, next_kv_vid, next_emb_vid = (
+            src.detach_space_for_migration(owner)
+        )
+        emb_map = dict(zip(emb_vids, dst.memory.embeds.allocate(len(emb_vids))))
+        dst.adopt_migrated_space(
+            owner, {}, emb_map, swapped_kv, next_kv_vid, next_emb_vid
+        )
+        self.home[owner] = dst
 
     def op_illegal(self):
         """Deliberate misuse must raise cleanly and change nothing."""
         owner = self._pick_owner()
         if owner is None:
             return
+        rm = self._rm(owner)
         choice = self.rng.randrange(3)
         if choice == 0 and self.kv[owner]:
             handle = self.rng.choice(self.kv[owner])
-            resident = handle.vid in self.rm._spaces[owner].kv_map
+            resident = handle.vid in rm._spaces[owner].kv_map
             if resident:
-                self.rm.dealloc_kv_pages(owner, [handle])
+                rm.dealloc_kv_pages(owner, [handle])
                 self.kv[owner].remove(handle)
                 with pytest.raises(ResourceError):
-                    self.rm.dealloc_kv_pages(owner, [handle])  # double free
+                    rm.dealloc_kv_pages(owner, [handle])  # double free
         elif choice == 1:
             with pytest.raises(ResourceError):
-                self.rm.import_kv_pages(owner, "no-such-export")
+                rm.import_kv_pages(owner, "no-such-export")
         elif choice == 2 and self.kv[owner]:
             foreign = KvPage(
                 vid=self.kv[owner][0].vid,
                 owner="someone-else",
-                page_size=self.rm.page_size,
-                model=self.rm.model_name,
+                page_size=rm.page_size,
+                model=rm.model_name,
             )
             with pytest.raises(ResourceError):
-                self.rm.resolve_kv(owner, foreign)
+                rm.resolve_kv(owner, foreign)
 
     # -- helpers -----------------------------------------------------------
 
@@ -187,30 +262,31 @@ class Harness:
     # -- invariants --------------------------------------------------------
 
     def check_invariants(self):
-        rm = self.rm
-        kv_pool = rm.memory.kv_pages
-        emb_pool = rm.memory.embeds
-        host = rm.host_pool
-        # Conservation on every pool.
-        assert kv_pool.num_free + kv_pool.num_allocated == KV_CAPACITY
-        assert emb_pool.num_free + emb_pool.num_allocated == EMB_CAPACITY
+        for rm in (self.rm0, self.rm1):
+            kv_pool = rm.memory.kv_pages
+            emb_pool = rm.memory.embeds
+            # Conservation on every device pool.
+            assert kv_pool.num_free + kv_pool.num_allocated == KV_CAPACITY
+            assert emb_pool.num_free + emb_pool.num_allocated == EMB_CAPACITY
+            # Device-resident + host-resident pages of every space are
+            # disjoint and every mapped physical page carries >= 1 ref.
+            for owner, space in rm._spaces.items():
+                assert not (set(space.kv_map) & set(space.swapped_kv)), owner
+                for pid in space.kv_map.values():
+                    assert rm.kv_refcount(pid) >= 1
+        # Conservation on the shared host tier.
+        host = self.rm0.host_pool
         assert host.num_free + host.num_used == HOST_CAPACITY
-        # Device-resident + host-resident pages of every space are disjoint
-        # and every mapped physical page carries at least one reference.
-        for owner, space in rm._spaces.items():
-            assert not (set(space.kv_map) & set(space.swapped_kv)), owner
-            for pid in space.kv_map.values():
-                assert rm.kv_refcount(pid) >= 1
         # Exported pages stay referenced even without a live owner mapping.
-        for name in self.exports:
+        for name, rm in self.exports:
             for pid in rm.export_info(name).physical_ids:
                 assert rm.kv_refcount(pid) >= 1
 
     def teardown(self):
-        for name in list(self.exports):
-            self.rm.release_export(name)
+        for name, rm in list(self.exports):
+            rm.release_export(name)
         for owner in list(self.kv):
-            self.rm.destroy_space(owner)
+            self._rm(owner).destroy_space(owner)
 
 
 OPS = (
@@ -225,6 +301,8 @@ OPS = (
     ("release_export", 3),
     ("swap_out", 6),
     ("swap_in", 6),
+    ("pin_unpin", 3),
+    ("crash_relaunch", 4),
     ("illegal", 3),
 )
 
@@ -239,9 +317,9 @@ def test_randomised_interleaving_preserves_invariants(seed):
         harness.check_invariants()
     # Full teardown: every page, slot and host copy comes home exactly once.
     harness.teardown()
-    rm = harness.rm
-    assert rm.memory.kv_pages.num_allocated == 0
-    assert rm.memory.embeds.num_allocated == 0
-    assert rm.host_pool.num_used == 0
-    assert rm.memory.kv_pages.num_free == KV_CAPACITY
-    assert rm.list_exports() == []
+    for rm in (harness.rm0, harness.rm1):
+        assert rm.memory.kv_pages.num_allocated == 0
+        assert rm.memory.embeds.num_allocated == 0
+        assert rm.memory.kv_pages.num_free == KV_CAPACITY
+        assert rm.list_exports() == []
+    assert harness.rm.host_pool.num_used == 0
